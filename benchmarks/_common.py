@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table/figure of the paper's evaluation:
+it runs the corresponding experiment *once* inside pytest-benchmark
+(wall-clock measured is the simulation cost; the scientific output is
+the simulated metrics), prints a paper-style table, and records the key
+numbers in ``benchmark.extra_info`` and under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def run_once(benchmark, fn: Callable[[], Any]) -> Any:
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    box: Dict[str, Any] = {}
+
+    def wrapper():
+        box["value"] = fn()
+
+    benchmark.pedantic(wrapper, rounds=1, iterations=1)
+    return box["value"]
+
+
+def emit(name: str, text: str) -> None:
+    """Print a results table and archive it under benchmarks/results/."""
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")

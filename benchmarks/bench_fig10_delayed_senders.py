@@ -1,0 +1,73 @@
+"""Figure 10: sender-delay test with null-sends.
+
+Paper: with one or half of the senders delayed by 1 µs / 100 µs /
+indefinitely, throughput of the remaining senders *increases* in every
+case except half-indefinite (peaking at 10 GB/s): small delays enlarge
+batches, large delays free bandwidth. Nulls keep inter-delivery times of
+continuous senders low (§4.2.1: 3.779 µs at 2 nodes -> 1.192 µs at 16).
+"""
+
+from _common import emit, run_once
+
+from repro.analysis import figure_banner, format_table, gbps
+from repro.core.config import SpindleConfig
+from repro.sim.units import us
+from repro.workloads import delayed_senders, single_subgroup
+
+N = 8
+CONFIG = SpindleConfig.batching_and_nulls()
+
+CASES = [
+    ("one, 1us", [0], us(1), False),
+    ("one, 100us", [0], us(100), False),
+    ("one, forever", [0], None, True),
+    ("half, 1us", list(range(N // 2)), us(1), False),
+    ("half, 100us", list(range(N // 2)), us(100), False),
+    ("half, forever", list(range(N // 2)), None, True),
+]
+
+
+def bench_fig10_delayed_senders(benchmark):
+    def experiment():
+        results = {"none": single_subgroup(N, "all", CONFIG, count=150)}
+        for name, delayed, delay, indefinite in CASES:
+            results[name] = delayed_senders(
+                N, delayed=delayed, delay=delay or 0.0, config=CONFIG,
+                count=150, indefinite=indefinite,
+                delayed_count=40 if not indefinite else 2)
+        return results
+
+    results = run_once(benchmark, experiment)
+    base = results["none"].throughput
+    rows = [["no delay", gbps(base), "1.00", "-"]]
+    for name, *_ in CASES:
+        r = results[name]
+        inter = r.extras.get("interdelivery_continuous", 0.0)
+        rows.append([name, gbps(r.throughput),
+                     f"{r.throughput / base:.2f}",
+                     f"{inter * 1e6:.2f}us"])
+    text = figure_banner(
+        "Figure 10", f"Delayed senders with null-sends ({N} nodes, 10 KB)",
+        "throughput holds or rises under delays (except half-forever); "
+        "nulls keep continuous senders' inter-delivery times low",
+    ) + "\n" + format_table(
+        ["case", "GB/s", "vs no delay", "interdelivery"], rows)
+    emit("fig10_delayed_senders", text)
+
+    # Shape: the system absorbs delays — single-sender delays keep
+    # nearly all of the undelayed throughput (the paper even saw gains:
+    # our deterministic fabric has no per-sender bandwidth reclaim, so
+    # we hold steady rather than rise), and the delivery pipeline never
+    # stalls on the delayed senders.
+    assert results["one, 1us"].throughput > 0.85 * base
+    assert results["one, forever"].throughput > 0.85 * base
+    assert results["one, 100us"].throughput > 0.7 * base
+    assert results["half, forever"].throughput > 0.55 * base
+    # Nulls keep continuous senders' messages flowing: mean
+    # inter-delivery gaps stay at microsecond scale, far below the
+    # injected 100 us delay.
+    for name, *_ in CASES:
+        inter = results[name].extras.get("interdelivery_continuous", 0.0)
+        assert inter < 50e-6, name
+    benchmark.extra_info["ratio_one_100us"] = (
+        results["one, 100us"].throughput / base)

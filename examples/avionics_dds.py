@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Avionics DDS: the paper's motivating application (§1, §4.6).
+
+A small onboard data distribution system: five nodes exchange flight
+data over topics with different QoS levels —
+
+* ``imu``       — high-rate inertial samples, UNORDERED (freshest wins),
+* ``nav.state`` — navigation state, ATOMIC multicast (all consumers see
+  the same ordered stream),
+* ``alt.radar`` — radar altimeter, VOLATILE storage (late joiners catch
+  up from the history),
+* ``flight.log``— flight-recorder entries, LOGGED to SSD.
+
+Run:  python examples/avionics_dds.py
+"""
+
+from repro import SpindleConfig
+from repro.dds import DdsDomain, QosLevel, QosProfile, StructType
+
+FLIGHT_COMPUTER, IMU, RADAR, DISPLAY, RECORDER = range(5)
+
+NavState = StructType("NavState", [
+    ("lat", "d"), ("lon", "d"), ("alt", "f"), ("heading", "f"),
+])
+ImuSample = StructType("ImuSample", [
+    ("ax", "f"), ("ay", "f"), ("az", "f"), ("t", "d"),
+])
+
+
+def main():
+    domain = DdsDomain(num_nodes=5, config=SpindleConfig.optimized())
+
+    imu_topic = domain.create_topic(
+        "imu", publishers=[IMU], subscribers=[FLIGHT_COMPUTER, DISPLAY],
+        data_type=ImuSample, qos=QosProfile(QosLevel.UNORDERED),
+        message_size=64, window=32)
+    nav_topic = domain.create_topic(
+        "nav.state", publishers=[FLIGHT_COMPUTER],
+        subscribers=[DISPLAY, RECORDER], data_type=NavState,
+        qos=QosProfile(QosLevel.ATOMIC), message_size=64, window=32)
+    radar_topic = domain.create_topic(
+        "alt.radar", publishers=[RADAR],
+        subscribers=[FLIGHT_COMPUTER, DISPLAY],
+        qos=QosProfile(QosLevel.VOLATILE, history_depth=16),
+        message_size=32, window=32)
+    log_topic = domain.create_topic(
+        "flight.log", publishers=[FLIGHT_COMPUTER],
+        subscribers=[RECORDER], qos=QosProfile(QosLevel.LOGGED),
+        message_size=128, window=16)
+    domain.build()
+
+    # --- subscribers ----------------------------------------------------------
+    display_nav = []
+    domain.participant(DISPLAY).create_reader(
+        nav_topic, listener=lambda s: display_nav.append(s.value))
+    imu_seen = []
+    domain.participant(FLIGHT_COMPUTER).create_reader(
+        imu_topic, listener=lambda s: imu_seen.append(s.value))
+    radar_reader = domain.participant(DISPLAY).create_reader(radar_topic)
+    domain.participant(RECORDER).create_reader(log_topic)
+    domain.participant(RECORDER).create_reader(nav_topic)
+
+    # --- publishers -----------------------------------------------------------
+    imu_writer = domain.participant(IMU).create_writer(imu_topic)
+    nav_writer = domain.participant(FLIGHT_COMPUTER).create_writer(nav_topic)
+    radar_writer = domain.participant(RADAR).create_writer(radar_topic)
+    log_writer = domain.participant(FLIGHT_COMPUTER).create_writer(log_topic)
+
+    def imu_task():
+        for k in range(200):
+            yield from imu_writer.write(
+                {"ax": 0.01 * k, "ay": -0.02, "az": 9.81, "t": k * 0.005})
+        imu_writer.finish()
+
+    def nav_task():
+        lat, lon, alt = 48.86, 2.35, 10000.0
+        for k in range(100):
+            lat += 1e-4
+            alt -= 5.0
+            yield from nav_writer.write(
+                {"lat": lat, "lon": lon, "alt": alt, "heading": 271.0})
+            yield from log_writer.write(
+                b"NAV k=%03d alt=%07.1f" % (k, alt))
+        nav_writer.finish()
+        log_writer.finish()
+
+    def radar_task():
+        for k in range(150):
+            yield from radar_writer.write(b"radar-alt:%05d" % (9000 - 3 * k))
+        radar_writer.finish()
+
+    domain.spawn(imu_task())
+    domain.spawn(nav_task())
+    domain.spawn(radar_task())
+    domain.run_to_quiescence(max_time=10.0)
+
+    # --- report ----------------------------------------------------------------
+    print(f"IMU samples seen by flight computer (unordered): {len(imu_seen)}")
+    print(f"Nav states on the display (atomic): {len(display_nav)}; "
+          f"last altitude {display_nav[-1]['alt']:.0f} ft")
+    history = radar_reader.store.snapshot()
+    print(f"Radar history retained on display (volatile, depth 16): "
+          f"{len(history)}; latest {history[-1][1].decode()}")
+    log = domain.ssd_log(RECORDER)
+    print(f"Flight-recorder SSD log: {len(log)} entries, "
+          f"{log.total_bytes} bytes; last: "
+          f"{log.replay(log_topic.topic_id)[-1][1].decode()}")
+    for topic in (imu_topic, nav_topic, radar_topic, log_topic):
+        print(f"  topic {topic.name!r:12s} QoS {topic.qos.level.name:9s} "
+              f"throughput {domain.topic_throughput(topic) / 1e6:8.1f} MB/s")
+
+
+if __name__ == "__main__":
+    main()

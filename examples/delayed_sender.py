@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Null-sends in action: a lagging sender must not stall the group.
+
+Recreates the paper's Figure 2 scenario (§3.3): with round-robin
+delivery order, one delayed sender leaves everyone else's messages
+stuck at the receivers — unless the null-send scheme fills the gaps.
+
+Runs the same workload twice (with and without null-sends) and prints
+what each configuration managed to deliver.
+
+Run:  python examples/delayed_sender.py
+"""
+
+from repro import Cluster, SpindleConfig
+from repro.sim.units import ms, us
+from repro.workloads import continuous_sender
+
+NUM_NODES = 4
+FAST_MESSAGES = 60
+SLOW_MESSAGES = 8
+SLOW_DELAY = us(200)  # the slow sender pauses 200 us after each send
+
+
+def run(config, label):
+    cluster = Cluster(num_nodes=NUM_NODES, config=config)
+    subgroup = cluster.add_subgroup(message_size=4096, window=16)
+    cluster.build()
+
+    # Node 0 is slow; everyone else streams at full speed.
+    cluster.spawn_sender(continuous_sender(
+        cluster.mc(0, 0), count=SLOW_MESSAGES, size=4096, delay=SLOW_DELAY))
+    for node in range(1, NUM_NODES):
+        cluster.spawn_sender(continuous_sender(
+            cluster.mc(node, 0), count=FAST_MESSAGES, size=4096))
+
+    cluster.run(until=ms(20))
+    expected = SLOW_MESSAGES + (NUM_NODES - 1) * FAST_MESSAGES
+    stats = cluster.group(1).stats(0)
+    nulls = sum(cluster.group(n).stats(0).nulls_sent
+                for n in cluster.node_ids)
+    print(f"{label}:")
+    print(f"  delivered at node 1: {stats.delivered}/{expected} "
+          f"(nulls sent group-wide: {nulls})")
+    if stats.delivered:
+        print(f"  mean inter-delivery gap from a fast sender: "
+              f"{stats.mean_interdelivery(1) * 1e6:.2f} us")
+    return stats.delivered, expected
+
+
+def main():
+    without, expected = run(SpindleConfig.batching_only(),
+                            "WITHOUT null-sends")
+    with_nulls, _ = run(SpindleConfig.batching_and_nulls(),
+                        "WITH null-sends   ")
+    print()
+    if without < expected and with_nulls == expected:
+        print("-> without nulls the round-robin order stalls on the slow "
+              "sender;")
+        print("   with nulls the group runs at full speed and still "
+              "delivers all messages.")
+
+
+if __name__ == "__main__":
+    main()

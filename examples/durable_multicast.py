@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Durable atomic multicast: the Paxos-equivalent delivery mode.
+
+Derecho's persistent atomic multicast "is equivalent to the classical
+durable Paxos" (paper §2.1, footnote): every member appends delivered
+messages to stable storage, and the application learns when a message
+is durable on *every* replica — at which point it can be acknowledged
+to an external client, survive any tolerated failure, and be replayed.
+
+Run:  python examples/durable_multicast.py
+"""
+
+from repro import Cluster, SpindleConfig
+from repro.workloads import continuous_sender
+
+NODES = 3
+MESSAGES = 40
+
+
+def main():
+    cluster = Cluster(num_nodes=NODES, config=SpindleConfig.optimized())
+    cluster.add_subgroup(message_size=512, window=10, persistent=True)
+    cluster.build()
+
+    delivered_at = {}
+    durable_at = {}
+    cluster.group(0).on_delivery(
+        0, lambda d: delivered_at.setdefault(d.seq, cluster.sim.now))
+    cluster.group(0).on_durable(
+        0, lambda watermark: durable_at.setdefault(watermark,
+                                                   cluster.sim.now))
+
+    for node in cluster.node_ids:
+        cluster.spawn_sender(continuous_sender(
+            cluster.mc(node, 0), count=MESSAGES, size=512,
+            payload_fn=lambda k, node=node: b"txn-%d-%03d" % (node, k)))
+    cluster.run_to_quiescence()
+
+    total = NODES * MESSAGES
+    engine = cluster.group(0).persistence[0]
+    print(f"{total} messages delivered; durable log on node 0 holds "
+          f"{len(engine.log)} entries ({engine.log_bytes} bytes, "
+          f"{engine.batches} SSD batches)")
+
+    # Replicated-log property: identical logs everywhere.
+    logs = [cluster.group(n).persistence[0].replay()
+            for n in cluster.node_ids]
+    print("logs identical on every replica:",
+          all(log == logs[0] for log in logs))
+
+    # Durability trails delivery by the SSD append + acknowledgment round.
+    last_seq = max(delivered_at)
+    lag = durable_at[max(durable_at)] - delivered_at[last_seq]
+    print(f"final message delivered at "
+          f"{delivered_at[last_seq] * 1e6:.1f} us, globally durable "
+          f"{lag * 1e6:.1f} us later")
+    print("replay of the first three durable entries:",
+          [payload.decode() for _, _, payload in engine.replay()[:3]])
+
+
+if __name__ == "__main__":
+    main()

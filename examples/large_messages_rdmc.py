@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Large messages: when to leave SMC for RDMC.
+
+The paper's Figure 4 notes that Derecho has a second communication
+layer, RDMC, "for very large subgroups or messages", and that shifting
+to it "might be advisable for subgroups with more than 12 members".
+
+This example disseminates an 8 MB object to groups of growing size with
+the three schemes and prints the dissemination time and effective
+bandwidth, making the crossover visible.
+
+Run:  python examples/large_messages_rdmc.py
+"""
+
+from repro.rdma import RdmaFabric
+from repro.rdmc import RdmcGroup, SCHEMES
+from repro.sim import Simulator
+
+MESSAGE = 8 << 20        # 8 MB
+BLOCK = 256 * 1024       # 256 KB blocks
+
+
+def disseminate(n, scheme):
+    sim = Simulator()
+    fabric = RdmaFabric(sim)
+    members = [fabric.add_node().node_id for _ in range(n)]
+    group = RdmcGroup(fabric, members, block_size=BLOCK, scheme=scheme)
+    payload = None  # timing-only; see tests for content-checked runs
+    session = group.multicast(members[0], MESSAGE, payload)
+    sim.run()
+    assert session.complete
+    return max(session.completion_time(m) for m in members)
+
+
+def main():
+    print(f"disseminating {MESSAGE >> 20} MB ({BLOCK >> 10} KB blocks) "
+          "on a 12.5 GB/s fabric\n")
+    header = f"{'n':>3} | " + " | ".join(f"{s:>22}" for s in SCHEMES)
+    print(header)
+    print("-" * len(header))
+    for n in (2, 4, 8, 12, 16):
+        cells = []
+        for scheme in SCHEMES:
+            t = disseminate(n, scheme)
+            cells.append(f"{t * 1e3:7.2f} ms ({MESSAGE / t / 1e9:4.1f} GB/s)")
+        print(f"{n:>3} | " + " | ".join(f"{c:>22}" for c in cells))
+    print(
+        "\nsequential time grows linearly with group size; the binomial\n"
+        "tree grows with log2(n); the block pipeline stays nearly flat —\n"
+        "the sender pushes each block once and receivers relay, so the\n"
+        "whole fabric's bandwidth is put to work."
+    )
+
+
+if __name__ == "__main__":
+    main()

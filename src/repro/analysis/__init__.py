@@ -1,0 +1,7 @@
+"""Analysis: paper-style result formatting for the benchmark harness."""
+
+from .report import figure_banner, format_table, gbps, ratio, usec
+from .trace import TraceEvent, Tracer
+
+__all__ = ["figure_banner", "format_table", "gbps", "ratio", "usec",
+           "Tracer", "TraceEvent"]

@@ -1,0 +1,53 @@
+"""Result formatting: paper-style tables for the benchmark harness.
+
+Every benchmark prints the same rows/series the paper plots, through
+these helpers, so EXPERIMENTS.md entries can be regenerated verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "figure_banner", "gbps", "usec", "ratio"]
+
+
+def gbps(bytes_per_second: float) -> str:
+    """Format a throughput in the paper's GB/s units."""
+    return f"{bytes_per_second / 1e9:.2f}"
+
+
+def usec(seconds: float) -> str:
+    """Format a latency in microseconds."""
+    value = seconds * 1e6
+    if value >= 1000:
+        return f"{value:.0f}"
+    return f"{value:.1f}"
+
+
+def ratio(a: float, b: float) -> str:
+    """Format a speedup ratio a/b."""
+    if b == 0:
+        return "inf"
+    return f"{a / b:.1f}x"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render an ASCII table with right-aligned numeric-ish columns."""
+    rows = [[str(c) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+    lines = [fmt(headers), "-+-".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def figure_banner(figure: str, title: str, paper_claim: str) -> str:
+    """Header printed above each benchmark's table."""
+    bar = "=" * 72
+    return (f"\n{bar}\n{figure}: {title}\n"
+            f"paper: {paper_claim}\n{bar}")

@@ -1,0 +1,115 @@
+"""Protocol event tracing: a timeline of what the fabric and threads did.
+
+Attach a :class:`Tracer` to a cluster before running a workload and get
+a timestamped event log — RDMA write arrivals, deliveries, null
+announcements, view-change steps — for debugging protocol behaviour or
+producing timelines for figures.
+
+    tracer = Tracer(cluster)
+    tracer.attach()
+    ... run workload ...
+    print(tracer.render(limit=50))
+    arrivals = tracer.select(kind="write")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timeline entry."""
+
+    time: float
+    node: int
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.time * 1e6:12.3f} us  node {self.node:<3} {self.kind:<10} {self.detail}"
+
+
+class Tracer:
+    """Collects protocol events from a built cluster."""
+
+    def __init__(self, cluster, capacity: int = 100_000):
+        self.cluster = cluster
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        self._attached = False
+
+    # ---------------------------------------------------------------- wiring
+
+    def attach(self) -> None:
+        """Hook write arrivals and delivery upcalls on every node."""
+        if self._attached:
+            raise RuntimeError("tracer already attached")
+        self._attached = True
+        sim = self.cluster.sim
+        for node_id, group in self.cluster.groups.items():
+            rdma_node = self.cluster.fabric.nodes[node_id]
+            rdma_node.on_remote_write.append(
+                self._write_hook(sim, node_id)
+            )
+            for subgroup_id in group.multicasts:
+                group.on_delivery(
+                    subgroup_id, self._delivery_hook(sim, node_id, subgroup_id)
+                )
+
+    def _write_hook(self, sim, node_id: int) -> Callable:
+        def hook(region, snap):
+            self.record(sim.now, node_id, "write",
+                        f"{snap.size_bytes}B into {region.name} "
+                        f"@cell{snap.offset}")
+
+        return hook
+
+    def _delivery_hook(self, sim, node_id: int, subgroup_id: int) -> Callable:
+        def hook(delivery):
+            self.record(sim.now, node_id, "deliver",
+                        f"sg{subgroup_id} seq={delivery.seq} "
+                        f"from={delivery.sender} {delivery.size}B")
+
+        return hook
+
+    def record(self, time: float, node: int, kind: str, detail: str) -> None:
+        """Add an event (also usable directly by applications)."""
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time, node, kind, detail))
+
+    # ---------------------------------------------------------------- queries
+
+    def select(self, kind: Optional[str] = None,
+               node: Optional[int] = None,
+               since: float = 0.0) -> List[TraceEvent]:
+        """Filter the timeline."""
+        return [
+            e for e in self.events
+            if (kind is None or e.kind == kind)
+            and (node is None or e.node == node)
+            and e.time >= since
+        ]
+
+    def counts(self) -> Dict[str, int]:
+        """Event counts by kind."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def render(self, limit: int = 100, **filters) -> str:
+        """Human-readable timeline (first ``limit`` matching events)."""
+        selected = self.select(**filters)[:limit]
+        lines = [str(e) for e in selected]
+        if len(self.select(**filters)) > limit:
+            lines.append(f"... ({len(self.select(**filters)) - limit} more)")
+        if self.dropped:
+            lines.append(f"... ({self.dropped} events dropped at capacity)")
+        return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Downstream applications of the atomic multicast (paper §1's broader
+class: replicated key-value stores and message queuing systems)."""
+
+from .kvstore import KvCommand, KvNode, attach_store
+from .mqueue import ReplicatedQueue, attach_queue
+
+__all__ = [
+    "KvNode",
+    "KvCommand",
+    "attach_store",
+    "ReplicatedQueue",
+    "attach_queue",
+]

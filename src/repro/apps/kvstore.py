@@ -1,0 +1,189 @@
+"""A replicated key-value store built on the atomic multicast.
+
+The paper motivates Spindle beyond the avionics DDS: the same
+layered structure appears in "message queuing systems, key-value stores
+that replicate data, atomic multicast and persistent logging" (§1).
+This module is that key-value store: a state machine replicated with
+the Spindle-optimized atomic multicast.
+
+Design (textbook SMR):
+
+* every replica is a subgroup member; writes (PUT/DELETE/CAS) are
+  multicast and applied in delivery order, so all replicas stay
+  identical;
+* reads are served locally — *sequentially consistent* by default, or
+  *linearizable* when issued through :meth:`KvNode.sync_read`, which
+  multicasts a no-op fence and waits for its delivery (the classic
+  read-through-the-log construction);
+* compare-and-swap resolves concurrent writers by the total order, so
+  every replica agrees on the winner.
+
+Commands are marshalled into the SMC message slots with a compact
+binary framing; the store's state is a plain dict per replica.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from ..core.multicast import Delivery, SubgroupMulticast
+from ..sim.sync import Event
+
+__all__ = ["KvCommand", "KvNode", "attach_store"]
+
+_OP_PUT = 1
+_OP_DELETE = 2
+_OP_CAS = 3
+_OP_FENCE = 4
+
+_HEADER = struct.Struct("<BHHI")  # op, key_len, expected_len, value_len
+
+
+class KvCommand:
+    """Encoding/decoding of replicated store commands."""
+
+    @staticmethod
+    def encode(op: int, key: bytes = b"", value: bytes = b"",
+               expected: bytes = b"") -> bytes:
+        return (_HEADER.pack(op, len(key), len(expected), len(value))
+                + key + expected + value)
+
+    @staticmethod
+    def decode(data: bytes) -> Tuple[int, bytes, bytes, bytes]:
+        op, key_len, expected_len, value_len = _HEADER.unpack_from(data)
+        offset = _HEADER.size
+        key = data[offset : offset + key_len]
+        offset += key_len
+        expected = data[offset : offset + expected_len]
+        offset += expected_len
+        value = data[offset : offset + value_len]
+        return op, key, expected, value
+
+
+class KvNode:
+    """One replica of the store.
+
+    Create with :func:`attach_store` on every member of a subgroup.
+    Mutations are generators to run inside simulated processes::
+
+        ok = yield from store.put(b"altitude", b"9500")
+        value = yield from store.sync_read(b"altitude")   # linearizable
+        value = store.read(b"altitude")                   # local, fast
+    """
+
+    def __init__(self, mc: SubgroupMulticast):
+        if mc.delivery_mode != "atomic":
+            raise ValueError("the KV store requires atomic delivery")
+        self.mc = mc
+        self.node_id = mc.node_id
+        self.data: Dict[bytes, bytes] = {}
+        self.applied = 0
+        self.cas_failures = 0
+        #: verification hook: (seq, op, key) of every applied command.
+        self.apply_log: List[Tuple[int, int, bytes]] = []
+        self._fence_waiters: Dict[Tuple[int, int], Event] = {}
+        self._write_waiters: Dict[Tuple[int, int], Event] = {}
+
+    # ---------------------------------------------------------- replication
+
+    def apply(self, delivery: Delivery) -> None:
+        """State-machine transition, executed in delivery order.
+
+        Registered as the subgroup's delivery upcall by attach_store.
+        """
+        op, key, expected, value = KvCommand.decode(delivery.payload)
+        outcome: Any = None
+        if op == _OP_PUT:
+            self.data[key] = value
+            outcome = True
+        elif op == _OP_DELETE:
+            outcome = self.data.pop(key, None) is not None
+        elif op == _OP_CAS:
+            current = self.data.get(key, b"")
+            if current == expected:
+                self.data[key] = value
+                outcome = True
+            else:
+                self.cas_failures += 1
+                outcome = False
+        elif op == _OP_FENCE:
+            outcome = None
+        else:
+            raise ValueError(f"unknown KV op {op}")
+        self.applied += 1
+        self.apply_log.append((delivery.seq, op, key))
+        token = (delivery.sender_rank, delivery.seq)
+        waiter = self._write_waiters.pop(token, None)
+        if waiter is not None:
+            waiter.trigger(outcome)
+        fence = self._fence_waiters.pop(token, None)
+        if fence is not None:
+            fence.trigger(None)
+
+    # ------------------------------------------------------------- mutations
+
+    def _submit(self, payload: bytes, waiters: Dict) -> Generator:
+        """Multicast a command and wait for its local delivery."""
+        if self.mc.my_rank is None:
+            raise RuntimeError(f"node {self.node_id} is a read-only replica")
+        yield from self.mc.claim_slot()
+        yield self.mc.timing.message_construct
+        # Queue under the lock; the round assigned determines our seq.
+        real_index = yield from self.mc.queue_message(len(payload), payload)
+        # Find the seq assigned to our message (it is the last queued).
+        seq = self.mc.own_inflight[-1][1]
+        event = Event(self.mc.sim, name=f"kv-wait-{seq}")
+        waiters[(self.mc.my_rank, seq)] = event
+        outcome = yield event
+        return outcome
+
+    def put(self, key: bytes, value: bytes) -> Generator:
+        """Replicated write; returns True once applied locally."""
+        return self._submit(KvCommand.encode(_OP_PUT, key, value),
+                            self._write_waiters)
+
+    def delete(self, key: bytes) -> Generator:
+        """Replicated delete; returns whether the key existed."""
+        return self._submit(KvCommand.encode(_OP_DELETE, key),
+                            self._write_waiters)
+
+    def cas(self, key: bytes, expected: bytes, value: bytes) -> Generator:
+        """Compare-and-swap, arbitrated by the total order; returns
+        whether this CAS won."""
+        return self._submit(
+            KvCommand.encode(_OP_CAS, key, value, expected),
+            self._write_waiters)
+
+    # ----------------------------------------------------------------- reads
+
+    def read(self, key: bytes) -> Optional[bytes]:
+        """Local read: sequentially consistent (may lag the log tip)."""
+        return self.data.get(key)
+
+    def sync_read(self, key: bytes) -> Generator:
+        """Linearizable read: fence through the log, then read locally.
+
+        The fence multicast is delivered after every write that preceded
+        the read in real time, so the local state is current.
+        """
+        yield from self._submit(KvCommand.encode(_OP_FENCE),
+                                self._fence_waiters)
+        return self.data.get(key)
+
+    # ------------------------------------------------------------- integrity
+
+    def checksum(self) -> int:
+        """Order-insensitive state digest for replica comparison."""
+        total = 0
+        for key, value in self.data.items():
+            total ^= hash((key, value))
+        return total
+
+
+def attach_store(group_node, subgroup_id: int) -> KvNode:
+    """Create a KV replica on a node and wire it to a subgroup."""
+    mc = group_node.subgroup(subgroup_id)
+    store = KvNode(mc)
+    group_node.on_delivery(subgroup_id, store.apply)
+    return store

@@ -1,0 +1,88 @@
+"""A replicated message queue on the atomic multicast (paper §1's
+"message queuing systems").
+
+Every broker replica delivers the same totally-ordered stream of
+enqueued messages, so the queue state is identical everywhere without
+any coordination beyond the multicast itself. Work distribution uses
+the deterministic-assignment SMR idiom: entry ``i`` belongs to worker
+``i mod num_workers``, a pure function of the agreed order — so all
+replicas agree on every assignment with zero extra messages.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Generator, List, Optional, Tuple
+
+from ..core.multicast import Delivery, SubgroupMulticast
+
+__all__ = ["ReplicatedQueue", "attach_queue"]
+
+
+class ReplicatedQueue:
+    """One broker replica of the queue."""
+
+    def __init__(self, mc: SubgroupMulticast, num_workers: int = 1):
+        if mc.delivery_mode != "atomic":
+            raise ValueError("the queue requires atomic delivery")
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        self.mc = mc
+        self.node_id = mc.node_id
+        self.num_workers = num_workers
+        #: Per-worker pending entries: (entry_index, producer, payload).
+        self._pending: List[Deque[Tuple[int, int, bytes]]] = [
+            deque() for _ in range(num_workers)
+        ]
+        self.enqueued_total = 0   # entries this replica has seen
+        self.taken_total = 0
+
+    # ---------------------------------------------------------- replication
+
+    def apply(self, delivery: Delivery) -> None:
+        """Delivery upcall: append the entry to its assigned worker."""
+        index = self.enqueued_total
+        self.enqueued_total += 1
+        worker = index % self.num_workers
+        self._pending[worker].append((index, delivery.sender, delivery.payload))
+
+    # -------------------------------------------------------------- produce
+
+    def enqueue(self, payload: bytes) -> Generator:
+        """Append a message to the queue (generator for app processes)."""
+        if self.mc.my_rank is None:
+            raise RuntimeError(f"node {self.node_id} cannot produce")
+        yield from self.mc.send(max(len(payload), 1), payload)
+
+    # -------------------------------------------------------------- consume
+
+    def take(self, worker: int, limit: Optional[int] = None
+             ) -> List[Tuple[int, int, bytes]]:
+        """Dequeue this worker's pending entries (up to ``limit``).
+
+        Deterministic assignment means a worker can take from *any*
+        replica and see exactly its entries, in order.
+        """
+        if not 0 <= worker < self.num_workers:
+            raise IndexError(f"worker {worker} out of range")
+        pending = self._pending[worker]
+        out = []
+        while pending and (limit is None or len(out) < limit):
+            out.append(pending.popleft())
+        self.taken_total += len(out)
+        return out
+
+    def backlog(self, worker: Optional[int] = None) -> int:
+        """Entries awaiting a worker (or all workers)."""
+        if worker is not None:
+            return len(self._pending[worker])
+        return sum(len(p) for p in self._pending)
+
+
+def attach_queue(group_node, subgroup_id: int,
+                 num_workers: int = 1) -> ReplicatedQueue:
+    """Create a queue replica on a node and wire it to a subgroup."""
+    mc = group_node.subgroup(subgroup_id)
+    queue = ReplicatedQueue(mc, num_workers=num_workers)
+    group_node.on_delivery(subgroup_id, queue.apply)
+    return queue

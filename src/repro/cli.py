@@ -1,0 +1,185 @@
+"""Command-line interface: run the paper's experiments without writing code.
+
+Examples::
+
+    python -m repro.cli single --nodes 8 --pattern all --config optimized
+    python -m repro.cli single --nodes 16 --config baseline --count 60
+    python -m repro.cli multi --nodes 8 --subgroups 10 --active 1
+    python -m repro.cli delayed --nodes 8 --delayed 1 --delay-us 100
+    python -m repro.cli rdmc --nodes 16 --size 8388608
+    python -m repro.cli compare --nodes 8
+
+Each command prints the metrics the paper reports (GB/s averaged over
+nodes, latency, batch sizes, RDMA write counts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import format_table, gbps, usec
+from .core.config import SpindleConfig
+from .sim.units import us
+
+CONFIGS = {
+    "baseline": SpindleConfig.baseline,
+    "batching": SpindleConfig.batching_only,
+    "nulls": SpindleConfig.batching_and_nulls,
+    "optimized": SpindleConfig.optimized,
+}
+
+
+def _result_rows(result):
+    return [
+        ["throughput (GB/s)", gbps(result.throughput)],
+        ["mean latency (us)", usec(result.latency)],
+        ["message rate (msg/s)", f"{result.message_rate:,.0f}"],
+        ["RDMA writes", f"{result.rdma_writes:,}"],
+        ["post/busy fraction", f"{result.post_fraction * 100:.0f}%"],
+        ["sender wait fraction", f"{result.sender_wait_fraction * 100:.0f}%"],
+        ["mean batches s/r/d", "/".join(f"{b:.1f}" for b in result.mean_batches)],
+        ["nulls sent", f"{result.nulls_sent}"],
+        ["simulated duration", f"{result.duration * 1e3:.2f} ms"],
+    ]
+
+
+def cmd_single(args) -> int:
+    from .workloads import single_subgroup
+
+    result = single_subgroup(
+        args.nodes, args.pattern, CONFIGS[args.config](),
+        message_size=args.size, count=args.count, window=args.window,
+    )
+    print(format_table(["metric", "value"], _result_rows(result)))
+    return 0
+
+
+def cmd_multi(args) -> int:
+    from .workloads import multi_subgroup
+
+    result = multi_subgroup(
+        args.nodes, num_subgroups=args.subgroups,
+        active_subgroups=args.active, config=CONFIGS[args.config](),
+        message_size=args.size, count=args.count, window=args.window,
+    )
+    print(format_table(["metric", "value"], _result_rows(result)))
+    return 0
+
+
+def cmd_delayed(args) -> int:
+    from .workloads import delayed_senders
+
+    result = delayed_senders(
+        args.nodes, delayed=list(range(args.delayed)),
+        delay=us(args.delay_us), config=CONFIGS[args.config](),
+        message_size=args.size, count=args.count,
+        indefinite=args.indefinite,
+    )
+    rows = _result_rows(result)
+    inter = result.extras.get("interdelivery_continuous")
+    if inter:
+        rows.append(["interdelivery, continuous sender",
+                     f"{inter * 1e6:.2f} us"])
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def cmd_rdmc(args) -> int:
+    from .rdma import RdmaFabric
+    from .rdmc import RdmcGroup, SCHEMES
+    from .sim import Simulator
+
+    rows = []
+    for scheme in SCHEMES:
+        sim = Simulator()
+        fabric = RdmaFabric(sim)
+        members = [fabric.add_node().node_id for _ in range(args.nodes)]
+        group = RdmcGroup(fabric, members, block_size=args.block,
+                          scheme=scheme)
+        session = group.multicast(members[0], args.size)
+        sim.run()
+        worst = max(session.completion_time(m) for m in members)
+        rows.append([scheme, f"{worst * 1e6:.0f}",
+                     gbps(args.size / worst)])
+    print(format_table(["scheme", "completion (us)", "eff. GB/s"], rows))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from .workloads import single_subgroup
+
+    rows = []
+    for name, factory in CONFIGS.items():
+        count = args.count if name != "baseline" else max(40, args.count // 3)
+        result = single_subgroup(args.nodes, args.pattern, factory(),
+                                 message_size=args.size, count=count,
+                                 window=args.window)
+        rows.append([name, gbps(result.throughput), usec(result.latency),
+                     f"{result.rdma_writes:,}"])
+    print(format_table(
+        ["config", "GB/s", "latency (us)", "RDMA writes"], rows))
+    return 0
+
+
+def _add_common(parser, count=200):
+    parser.add_argument("--nodes", type=int, default=8,
+                        help="cluster size (paper: 2..16)")
+    parser.add_argument("--size", type=int, default=10240,
+                        help="message size in bytes (default 10 KB)")
+    parser.add_argument("--count", type=int, default=count,
+                        help="messages per sender")
+    parser.add_argument("--window", type=int, default=100,
+                        help="SMC ring-buffer window size")
+    parser.add_argument("--config", choices=sorted(CONFIGS),
+                        default="optimized")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("single", help="single-subgroup experiment (§4.1)")
+    _add_common(p)
+    p.add_argument("--pattern", choices=["all", "half", "one"], default="all")
+    p.set_defaults(fn=cmd_single)
+
+    p = sub.add_parser("multi", help="multiple-subgroup experiment (§4.1.3)")
+    _add_common(p, count=120)
+    p.add_argument("--subgroups", type=int, default=5)
+    p.add_argument("--active", type=int, default=1)
+    p.set_defaults(fn=cmd_multi)
+
+    p = sub.add_parser("delayed", help="delayed-sender experiment (§4.2)")
+    _add_common(p, count=150)
+    p.add_argument("--delayed", type=int, default=1,
+                   help="how many senders are delayed")
+    p.add_argument("--delay-us", type=float, default=100.0)
+    p.add_argument("--indefinite", action="store_true",
+                   help="delayed senders go silent instead")
+    p.set_defaults(fn=cmd_delayed)
+
+    p = sub.add_parser("rdmc", help="large-message multicast schemes")
+    p.add_argument("--nodes", type=int, default=16)
+    p.add_argument("--size", type=int, default=8 << 20)
+    p.add_argument("--block", type=int, default=256 * 1024)
+    p.set_defaults(fn=cmd_rdmc)
+
+    p = sub.add_parser("compare", help="all four configs side by side")
+    _add_common(p)
+    p.add_argument("--pattern", choices=["all", "half", "one"], default="all")
+    p.set_defaults(fn=cmd_compare)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

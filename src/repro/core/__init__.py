@@ -1,0 +1,19 @@
+"""Core: Derecho atomic multicast + the Spindle optimizations (§2–§3)."""
+
+from .config import SpindleConfig, TimingModel
+from .group import GroupNode, build_layout
+from .membership import SubgroupSpec, View
+from .multicast import Delivery, SubgroupMulticast
+from .stats import SubgroupStats
+
+__all__ = [
+    "SpindleConfig",
+    "TimingModel",
+    "GroupNode",
+    "build_layout",
+    "SubgroupSpec",
+    "View",
+    "Delivery",
+    "SubgroupMulticast",
+    "SubgroupStats",
+]

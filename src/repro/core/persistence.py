@@ -1,0 +1,167 @@
+"""Durable atomic multicast: Derecho's persistent delivery mode.
+
+The paper notes (§2.1, footnote) that Derecho's *persistent* atomic
+multicast is equivalent to classical durable Paxos: every replica holds
+the full state and a message is durably delivered only once every
+member has appended it to stable storage.
+
+Mechanics, mirroring Derecho's version-vector scheme on our SST:
+
+* each member runs a :class:`PersistenceEngine` — a background thread
+  that drains locally-delivered messages into an append-only log on a
+  modeled SSD (batched appends amortize the device overhead),
+* after appending through sequence number ``s`` it advances a monotonic
+  ``persisted_num`` SST column and pushes it (one RDMA write per peer,
+  exactly like the delivery acknowledgments),
+* a *durability predicate* on the polling thread watches the minimum of
+  the ``persisted_num`` column: messages at or below it are stable on
+  every replica and the application's ``on_durable`` watermark callback
+  fires.
+
+Delivery upcalls still happen at (volatile) delivery time; durability
+is reported separately, which is how Derecho exposes the two levels.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional, Tuple
+
+from ..predicates.framework import Predicate
+from ..sim.sync import Doorbell
+from ..sim.units import gb_per_s, us
+from .multicast import Delivery, SubgroupMulticast
+
+__all__ = ["StorageModel", "PersistenceEngine"]
+
+
+@dataclass(frozen=True)
+class StorageModel:
+    """Timing model of the stable-storage device (NVMe-class SSD)."""
+
+    #: Fixed overhead per append batch (submission + flush amortized).
+    append_base: float = us(2.0)
+    #: Sequential write bandwidth, bytes/second.
+    write_bandwidth: float = gb_per_s(2.0)
+
+    def append_time(self, total_bytes: int) -> float:
+        return self.append_base + total_bytes / self.write_bandwidth
+
+
+class PersistenceEngine:
+    """One member's durability pipeline for one subgroup."""
+
+    def __init__(self, mc: SubgroupMulticast, persisted_col: int,
+                 storage: Optional[StorageModel] = None):
+        self.mc = mc
+        self.sim = mc.sim
+        self.persisted_col = persisted_col
+        self.storage = storage if storage is not None else StorageModel()
+        #: (seq, sender, size, payload) awaiting the SSD.
+        self._queue: Deque[Tuple[int, int, int, Optional[bytes]]] = deque()
+        self._bell = Doorbell(self.sim, name=f"persist@{mc.node_id}")
+        #: The durable log contents (seq, sender, payload).
+        self.log: List[Tuple[int, int, Optional[bytes]]] = []
+        self.log_bytes = 0
+        self.persisted_seq = -1      # locally durable watermark
+        self.durable_seq = -1        # globally durable watermark
+        self.batches = 0
+        self.on_durable: List[Callable[[int], None]] = []
+        self._proc = None
+        self.predicate = _DurabilityPredicate(self)
+
+    # ---------------------------------------------------------------- wiring
+
+    def start(self) -> None:
+        """Hook deliveries, start the storage thread, register the
+        durability predicate."""
+        if self._proc is not None:
+            raise RuntimeError("persistence engine already started")
+        self._proc = self.sim.spawn(
+            self._run(), name=f"persist@{self.mc.node_id}"
+        )
+        self.mc.thread.register(self.predicate)
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.alive:
+            self._proc.kill()
+        if self.predicate in self.mc.thread.predicates:
+            self.mc.thread.unregister(self.predicate)
+
+    def enqueue(self, delivery: Delivery) -> None:
+        """Called from the delivery upcall path: queue for the SSD."""
+        self._queue.append(
+            (delivery.seq, delivery.sender, delivery.size, delivery.payload)
+        )
+        self._bell.ring()
+
+    # ----------------------------------------------------------- storage loop
+
+    def _run(self):
+        mc = self.mc
+        post_cost = mc.sst.fabric.latency.post_overhead
+        while True:
+            while self._queue:
+                # Batched append: drain everything queued right now.
+                batch = []
+                total = 0
+                while self._queue:
+                    entry = self._queue.popleft()
+                    batch.append(entry)
+                    total += entry[2]
+                yield self.storage.append_time(total)
+                for seq, sender, _size, payload in batch:
+                    self.log.append((seq, sender, payload))
+                self.log_bytes += total
+                self.batches += 1
+                self.persisted_seq = batch[-1][0]
+                # Publish the new durable watermark (needs the shared
+                # lock: the column is shared protocol state).
+                yield mc.thread.lock.acquire()
+                mc.sst.set(self.persisted_col, self.persisted_seq)
+                mc.thread.lock.release()
+                yield from mc.sst.push(
+                    self.persisted_col, self.persisted_col + 1,
+                    [m for m in mc.members if m != mc.node_id],
+                )
+            yield self._bell.wait()
+
+    # --------------------------------------------------------------- queries
+
+    def globally_persisted(self) -> int:
+        """Min of the persisted_num column: durable on every member."""
+        return min(
+            self.mc.sst.read(m, self.persisted_col) for m in self.mc.members
+        )
+
+    def replay(self) -> List[Tuple[int, int, Optional[bytes]]]:
+        """The durable log (seq, sender, payload), in append order."""
+        return list(self.log)
+
+
+class _DurabilityPredicate(Predicate):
+    """Fires the on_durable watermark when global persistence advances."""
+
+    def __init__(self, engine: PersistenceEngine):
+        self.engine = engine
+        self.name = f"sg{engine.mc.subgroup_id}.durability"
+        self.subgroup = engine.mc.subgroup_id
+
+    def evaluate(self):
+        engine = self.engine
+        cost = (engine.mc.timing.predicate_eval
+                + len(engine.mc.members) * engine.mc.timing.slot_check)
+        watermark = engine.globally_persisted()
+        if watermark > engine.durable_seq:
+            return cost, (watermark,)
+        return cost, None
+
+    def trigger(self, value):
+        (watermark,) = value
+        engine = self.engine
+        yield engine.mc.timing.trigger_base
+        engine.durable_seq = watermark
+        for callback in engine.on_durable:
+            callback(watermark)
+        return None

@@ -1,0 +1,183 @@
+"""Instrumentation for the multicast pipeline.
+
+Collects exactly the quantities the paper reports: throughput (bytes
+delivered per second, §4), per-stage batch-size histograms (Fig. 7),
+RDMA write counts and predicate-thread post time (§4.1.1), sender
+wait-for-slot time (§4.1.1), delivery latency (Figs. 5/17), and
+inter-delivery times per sender (§4.2.1).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["SubgroupStats"]
+
+
+class SubgroupStats:
+    """Per-(node, subgroup) counters and histograms."""
+
+    def __init__(self, curve_stride: int = 64, latency_sample_cap: int = 4096):
+        self.curve_stride = curve_stride
+        self.latency_sample_cap = latency_sample_cap
+
+        # -- message counts ----------------------------------------------------
+        self.sent = 0                 # application messages queued locally
+        self.nulls_sent = 0           # null rounds announced by this node
+        self.null_announce_pushes = 0  # control pushes that carried nulls
+        self.received = 0             # application messages received (all senders)
+        self.delivered = 0            # application messages delivered
+        self.nulls_skipped = 0        # null rounds passed over at delivery
+        self.bytes_delivered = 0
+
+        # -- batch histograms (Fig. 7) -----------------------------------------
+        self.send_batches: Counter = Counter()
+        self.receive_batches: Counter = Counter()
+        self.delivery_batches: Counter = Counter()
+
+        # -- latency (queue-to-local-delivery, seconds) --------------------------
+        self.latency_sum = 0.0
+        self.latency_count = 0
+        self.latency_max = 0.0
+        self.latency_samples: List[float] = []
+
+        # -- timing landmarks ----------------------------------------------------
+        self.first_send_time: Optional[float] = None
+        self.first_delivery_time: Optional[float] = None
+        self.last_delivery_time: Optional[float] = None
+        #: sampled cumulative (time, bytes) curve for steady-state rates.
+        self.delivery_curve: List[Tuple[float, int]] = []
+
+        # -- sender-side ---------------------------------------------------------
+        self.sender_wait_time = 0.0   # time spent waiting for a free slot
+        self.sends_blocked = 0        # how many sends had to wait
+
+        # -- per-sender last delivery time (inter-delivery metric, §4.2.1) ------
+        self.last_delivery_from: Dict[int, float] = {}
+        self.interdelivery_sum: Dict[int, float] = {}
+        self.interdelivery_count: Dict[int, int] = {}
+
+    # ------------------------------------------------------------- recording
+
+    def record_send(self, now: float) -> None:
+        """A message was queued locally (first call marks workload start)."""
+        self.sent += 1
+        if self.first_send_time is None:
+            self.first_send_time = now
+
+    def record_send_batch(self, size: int) -> None:
+        self.send_batches[size] += 1
+
+    def record_receive_batch(self, size: int) -> None:
+        self.receive_batches[size] += 1
+
+    def record_delivery_batch(self, size: int) -> None:
+        self.delivery_batches[size] += 1
+
+    def record_delivery(self, now: float, sender_rank: int, size: int,
+                        queued_at: float) -> None:
+        """One application message delivered locally."""
+        self.delivered += 1
+        self.bytes_delivered += size
+        if self.first_delivery_time is None:
+            self.first_delivery_time = now
+        self.last_delivery_time = now
+        if self.delivered % self.curve_stride == 0:
+            self.delivery_curve.append((now, self.bytes_delivered))
+        latency = now - queued_at
+        self.latency_sum += latency
+        self.latency_count += 1
+        if latency > self.latency_max:
+            self.latency_max = latency
+        if len(self.latency_samples) < self.latency_sample_cap:
+            self.latency_samples.append(latency)
+        previous = self.last_delivery_from.get(sender_rank)
+        if previous is not None:
+            self.interdelivery_sum[sender_rank] = (
+                self.interdelivery_sum.get(sender_rank, 0.0) + (now - previous)
+            )
+            self.interdelivery_count[sender_rank] = (
+                self.interdelivery_count.get(sender_rank, 0) + 1
+            )
+        self.last_delivery_from[sender_rank] = now
+
+    # ------------------------------------------------------------- reporting
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean queue-to-delivery latency in seconds."""
+        if self.latency_count == 0:
+            return 0.0
+        return self.latency_sum / self.latency_count
+
+    def mean_batch(self, histogram: Counter) -> float:
+        """Mean batch size of one stage's histogram."""
+        total = sum(histogram.values())
+        if total == 0:
+            return 0.0
+        return sum(size * count for size, count in histogram.items()) / total
+
+    @property
+    def mean_batches(self) -> Tuple[float, float, float]:
+        """(send, receive, delivery) mean batch sizes (§4.1.3 metric)."""
+        return (
+            self.mean_batch(self.send_batches),
+            self.mean_batch(self.receive_batches),
+            self.mean_batch(self.delivery_batches),
+        )
+
+    def mean_interdelivery(self, sender_rank: int) -> float:
+        """Mean gap between consecutive deliveries from one sender."""
+        count = self.interdelivery_count.get(sender_rank, 0)
+        if count == 0:
+            return 0.0
+        return self.interdelivery_sum[sender_rank] / count
+
+    def throughput(self, steady_fraction: float = 0.2,
+                   until_fraction: float = 1.0) -> float:
+        """Delivered application bytes per second at this node.
+
+        Uses the slope of the cumulative-delivery curve from
+        ``steady_fraction`` of the way in to the end, which discards the
+        window-fill ramp-up (runs here are shorter than the paper's 1 M
+        messages, so the transient would otherwise bias the estimate).
+
+        ``until_fraction < 1`` stops the measurement once that fraction
+        of the bytes has been delivered — the paper's §4.2.1 methodology
+        ("we measure bandwidth after a fixed number of messages have
+        been delivered"), which excludes the trickle tail of a workload
+        whose delayed senders outlive the continuous ones.
+        """
+        if self.first_delivery_time is None or self.last_delivery_time is None:
+            return 0.0
+        curve = [(self.first_delivery_time, 0)] + self.delivery_curve
+        if curve[-1][0] != self.last_delivery_time:
+            curve = curve + [(self.last_delivery_time, self.bytes_delivered)]
+        if until_fraction < 1.0:
+            target = until_fraction * self.bytes_delivered
+            end = next((i for i, (_, b) in enumerate(curve) if b >= target),
+                       len(curve) - 1)
+            curve = curve[: max(end + 1, 2)]
+        cut = min(int(len(curve) * steady_fraction), len(curve) - 2)
+        t0, b0 = curve[cut]
+        t1, b1 = curve[-1]
+        if t1 <= t0:
+            # Degenerate curve (e.g. one giant delivery batch): fall back
+            # to the whole first-to-last span.
+            t0, b0 = curve[0]
+            t1, b1 = curve[-1]
+            if t1 <= t0:
+                return 0.0
+        rate = (b1 - b0) / (t1 - t0)
+        # A hard physical bound protects short bursty runs (all
+        # deliveries landing in one burst make the slope meaningless):
+        # nothing can be sustained faster than everything delivered by
+        # the measurement endpoint over the time since this node started
+        # sending. (Uses t1/b1 so an until_fraction tail cut applies to
+        # the bound as well.)
+        if self.first_send_time is not None:
+            makespan = t1 - self.first_send_time
+            if makespan > 0:
+                rate = min(rate, b1 / makespan)
+        return rate

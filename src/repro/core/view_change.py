@@ -1,0 +1,275 @@
+"""Virtual-synchrony membership: failure detection and view changes.
+
+The paper assumes Derecho's partition-free state-machine-replication
+membership protocol (§2.1) and evaluates only failure-free epochs; this
+module supplies that substrate so the library is a complete atomic
+multicast (failure atomicity included), not just a fast path.
+
+Protocol sketch (a faithful simplification of Derecho's, one
+reconfiguration at a time):
+
+1. **Failure detection** — every node bumps a heartbeat counter in its
+   SST row and pushes it periodically. A peer whose heartbeat goes stale
+   for ``suspicion_timeout`` is *suspected* (a monotonic flag column).
+2. **Wedging** — any node that sees any suspicion adopts all visible
+   suspicions into its own row, sets its ``wedged`` flag, pushes both,
+   and stops initiating multicasts in every subgroup.
+3. **Ragged trim** — the leader (lowest-ranked unsuspected member),
+   once it sees every survivor wedged, publishes a proposal through a
+   guarded SST value: the failed set plus, per subgroup, a *trim* equal
+   to the minimum of the survivors' ``received_num``. Every survivor
+   necessarily holds all messages up to the trim, so each delivers
+   exactly that prefix — the failure-atomicity guarantee: a message
+   past the trim is delivered *nowhere* and must be resent in the next
+   view (``SubgroupMulticast.undelivered_own_messages``).
+4. **Install** — survivors acknowledge the proposal in an ``ack``
+   column; when every survivor has acknowledged, each fires its
+   ``on_new_view`` callbacks with the successor
+   :class:`~repro.core.membership.View`.
+
+Known simplifications (documented per DESIGN.md): joins are handled at
+epoch boundaries by building the next view explicitly; if the *leader*
+fails after publishing its proposal, the next leader re-runs the
+protocol from wedging (concurrent divergent proposals are not arbitrated
+— Derecho's full ballot mechanism is out of scope for this
+reproduction).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..predicates.framework import Predicate
+from ..sim.units import us
+from ..sst.fields import SSTLayout
+from ..sst.push import GuardedValue
+from .membership import View
+
+__all__ = ["MembershipColumns", "MembershipService"]
+
+
+class MembershipColumns:
+    """Column indices of the membership block in the SST layout."""
+
+    def __init__(self, heartbeat: int, suspected0: int, wedged: int,
+                 ack: int, proposal: Tuple[int, int], num_members: int):
+        self.heartbeat = heartbeat
+        self.suspected0 = suspected0  # one flag column per member, contiguous
+        self.wedged = wedged
+        self.ack = ack
+        self.proposal = proposal      # (data_col, guard_col)
+        self.num_members = num_members
+
+    def suspected(self, member_rank: int) -> int:
+        return self.suspected0 + member_rank
+
+    @classmethod
+    def declare(cls, layout: SSTLayout, num_members: int) -> "MembershipColumns":
+        heartbeat = layout.counter("mbr.heartbeat", initial=0)
+        suspected0 = layout.flag("mbr.suspected0")
+        for i in range(1, num_members):
+            layout.flag(f"mbr.suspected{i}")
+        wedged = layout.flag("mbr.wedged")
+        ack = layout.counter("mbr.ack")
+        proposal = GuardedValue.declare(layout, "mbr.proposal", size=256)
+        return cls(heartbeat, suspected0, wedged, ack, proposal, num_members)
+
+
+class MembershipService:
+    """One node's membership endpoint: detector process + SST predicate."""
+
+    def __init__(self, group_node, cols: MembershipColumns,
+                 heartbeat_period: float = us(100),
+                 suspicion_timeout: float = us(500)):
+        self.group = group_node
+        self.sst = group_node.sst
+        self.sim = group_node.sim
+        self.cols = cols
+        self.view: View = group_node.view
+        self.members = list(self.view.members)
+        self.my_rank = self.view.rank_of(group_node.node_id)
+        self.heartbeat_period = heartbeat_period
+        self.suspicion_timeout = suspicion_timeout
+        self.proposal = GuardedValue(self.sst, *cols.proposal)
+        self.wedged = False
+        self.proposed = False
+        self.installed = False
+        self.processed_proposal_version = -1
+        self.new_view: Optional[View] = None
+        self.on_new_view: List[Callable[[View], None]] = []
+        self._hb_prev: Dict[int, Tuple[int, float]] = {}
+        self._detector_proc = None
+        self.predicate = _MembershipPredicate(self)
+
+    # ---------------------------------------------------------------- wiring
+
+    def start(self) -> None:
+        """Register the membership predicate and start heartbeating."""
+        self.group.thread.register(self.predicate)
+        self._detector_proc = self.sim.spawn(
+            self._detector(), name=f"detector@{self.group.node_id}"
+        )
+
+    def stop(self) -> None:
+        if self._detector_proc is not None and self._detector_proc.alive:
+            self._detector_proc.kill()
+
+    # ------------------------------------------------------------- suspicion
+
+    def is_suspected(self, member: int) -> bool:
+        """True if *any* row suspects ``member`` (suspicion is infectious)."""
+        rank = self.members.index(member)
+        col = self.cols.suspected(rank)
+        return any(self.sst.read(owner, col) for owner in self.members)
+
+    def live_members(self) -> List[int]:
+        return [m for m in self.members if not self.is_suspected(m)]
+
+    def leader(self) -> int:
+        """Lowest-ranked unsuspected member."""
+        live = self.live_members()
+        return live[0] if live else self.group.node_id
+
+    def suspect(self, member: int) -> None:
+        """Manually mark a member as failed (test/operator injection).
+
+        The flag still propagates through the normal SST path.
+        """
+        rank = self.members.index(member)
+        self.sst.set(self.cols.suspected(rank), True)
+        self.group.thread.doorbell.ring()
+
+        def pusher():
+            yield from self.sst.push_col(self.cols.suspected(rank))
+
+        self.sim.spawn(pusher(), name=f"suspect@{self.group.node_id}")
+
+    # ---------------------------------------------------------- detector loop
+
+    def _detector(self):
+        """Heartbeat + staleness checking process."""
+        sst = self.sst
+        cols = self.cols
+        post_cost = self.group.fabric.latency.post_overhead
+        while not self.installed:
+            sst.set(cols.heartbeat, sst.read_own(cols.heartbeat) + 1)
+            yield from sst.push_col(cols.heartbeat)
+            now = self.sim.now
+            for member in self.members:
+                if member == self.group.node_id or self.is_suspected(member):
+                    continue
+                current = sst.read(member, cols.heartbeat)
+                prev = self._hb_prev.get(member)
+                if prev is None or prev[0] != current:
+                    self._hb_prev[member] = (current, now)
+                elif now - prev[1] > self.suspicion_timeout:
+                    rank = self.members.index(member)
+                    sst.set(cols.suspected(rank), True)
+                    yield from sst.push_col(cols.suspected(rank))
+                    self.group.thread.doorbell.ring()
+            yield self.heartbeat_period
+
+
+class _MembershipPredicate(Predicate):
+    """The view-change state machine, run on the node's polling thread."""
+
+    def __init__(self, service: MembershipService):
+        self.svc = service
+        self.name = f"membership@{service.group.node_id}"
+        self.subgroup = None
+
+    # The four actions, in priority order.
+    _WEDGE, _PROPOSE, _INSTALL, _COMMIT = "wedge", "propose", "install", "commit"
+
+    def evaluate(self):
+        svc = self.svc
+        cost = svc.group.timing.predicate_eval * len(svc.members)
+        if svc.installed:
+            return cost, None
+        suspicion = any(
+            svc.is_suspected(m) for m in svc.members
+        )
+        if not suspicion:
+            return cost, None
+        if not svc.wedged:
+            return cost, self._WEDGE
+        live = svc.live_members()
+        me = svc.group.node_id
+        if me == svc.leader() and not svc.proposed:
+            all_wedged = all(
+                svc.sst.read(m, svc.cols.wedged) for m in live
+            )
+            if all_wedged:
+                return cost, self._PROPOSE
+        version, _ = svc.proposal.read(svc.leader())
+        if version > svc.processed_proposal_version:
+            return cost, self._INSTALL
+        if (version >= 0 and not svc.installed
+                and svc.processed_proposal_version >= 0):
+            proposed_id = svc.view.view_id + 1
+            if all(svc.sst.read(m, svc.cols.ack) >= proposed_id for m in live):
+                return cost, self._COMMIT
+        return cost, None
+
+    def trigger(self, action):
+        svc = self.svc
+        sst = svc.sst
+        cols = svc.cols
+        yield svc.group.timing.trigger_base
+
+        if action == self._WEDGE:
+            # Adopt every visible suspicion into our own row and wedge.
+            for rank, member in enumerate(svc.members):
+                if svc.is_suspected(member):
+                    sst.set(cols.suspected(rank), True)
+            sst.set(cols.wedged, True)
+            svc.wedged = True
+            for mc in svc.group.multicasts.values():
+                mc.wedge()
+            lo = min(cols.suspected(0), cols.wedged)
+            hi = max(cols.suspected(svc.cols.num_members - 1), cols.wedged) + 1
+            return sst.push(lo, hi)
+
+        if action == self._PROPOSE:
+            svc.proposed = True
+            failed = tuple(m for m in svc.members if svc.is_suspected(m))
+            survivors = [m for m in svc.members if m not in failed]
+            trims = tuple(
+                (sg_id, min(sst.read(m, mc.cols.received) for m in survivors
+                            if m in mc.members))
+                for sg_id, mc in sorted(svc.group.multicasts.items())
+            )
+            payload = (svc.view.view_id + 1, failed, trims)
+            return svc.proposal.publish(payload)
+
+        if action == self._INSTALL:
+            version, payload = svc.proposal.read(svc.leader())
+            svc.processed_proposal_version = version
+            new_view_id, failed, trims = payload
+            delivered = 0
+            for sg_id, trim in trims:
+                mc = svc.group.multicasts.get(sg_id)
+                if mc is not None:
+                    mc.wedge()
+                    delivered += mc.force_deliver_up_to(trim)
+            yield svc.group.timing.delivery_per_message * delivered
+            sst.set(cols.ack, new_view_id)
+            return self._push_ack_and_delivered()
+
+        if action == self._COMMIT:
+            svc.installed = True
+            failed = tuple(m for m in svc.members if svc.is_suspected(m))
+            svc.new_view = svc.view.without(failed)
+            svc.stop()
+            for callback in svc.on_new_view:
+                callback(svc.new_view)
+            return None
+
+        raise AssertionError(f"unknown membership action {action!r}")
+
+    def _push_ack_and_delivered(self):
+        """Push the ack counter plus each subgroup's delivered_num."""
+        svc = self.svc
+        yield from svc.sst.push_col(svc.cols.ack)
+        for mc in svc.group.multicasts.values():
+            yield from mc.smc.push_control()

@@ -1,0 +1,174 @@
+"""External DDS clients: publish/subscribe through a relay member.
+
+The paper's DDS "also supports 'external clients' that connect to the
+DDS via TCP or RDMA, requiring an extra relaying step" (§4.6 — built
+but not evaluated there). This module supplies that mode:
+
+* an :class:`ExternalClient` lives *outside* the RDMA group — it talks
+  to one group member (its relay) over a point-to-point transport,
+* publishes are shipped to the relay, which multicasts them into the
+  topic's subgroup on the client's behalf (so they gain the same
+  atomicity and ordering guarantees as native publishes),
+* subscriptions are served by the relay forwarding each delivered
+  sample back over the client link.
+
+Two stock transports model the paper's options: kernel TCP (tens of µs,
+per-message syscall cost) and one-sided RDMA to the client's NIC.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+from ..sim.sync import Doorbell
+from ..sim.units import gb_per_s, us
+from .domain import DataWriter, DdsDomain, Sample
+from .topic import Topic
+
+__all__ = ["ClientTransport", "TCP_TRANSPORT", "RDMA_TRANSPORT",
+           "ExternalClient"]
+
+
+@dataclass(frozen=True)
+class ClientTransport:
+    """Timing model of a client-to-relay link."""
+
+    name: str
+    #: One-way propagation + stack latency per message.
+    latency: float
+    #: Link bandwidth, bytes/second.
+    bandwidth: float
+    #: CPU time per message on each endpoint (syscalls, (de)framing).
+    per_message_cpu: float
+
+    def transfer_time(self, size: int) -> float:
+        return self.latency + size / self.bandwidth
+
+
+#: Kernel TCP over the datacenter network.
+TCP_TRANSPORT = ClientTransport("tcp", latency=us(30),
+                                bandwidth=gb_per_s(1.25),
+                                per_message_cpu=us(2.0))
+#: One-sided RDMA to the external client's own NIC.
+RDMA_TRANSPORT = ClientTransport("rdma", latency=us(2.0),
+                                 bandwidth=gb_per_s(12.5),
+                                 per_message_cpu=us(0.3))
+
+
+class ExternalClient:
+    """A process outside the group, attached to one relay member.
+
+    Create after ``domain.build()``::
+
+        client = ExternalClient(domain, relay_node=0)
+        client.subscribe(topic, listener=...)
+        domain.spawn(client.publisher(topic, samples))
+    """
+
+    def __init__(
+        self,
+        domain: DdsDomain,
+        relay_node: int,
+        transport: ClientTransport = TCP_TRANSPORT,
+        name: str = "client",
+    ):
+        if relay_node not in domain.cluster.node_ids:
+            raise ValueError(f"unknown relay node {relay_node}")
+        self.domain = domain
+        self.relay_node = relay_node
+        self.transport = transport
+        self.name = name
+        self.sim = domain.sim
+        #: Client uplink/downlink serialization (shared full-duplex pair).
+        self._uplink_free = 0.0
+        self._downlink_free = 0.0
+        #: Pending publishes at the relay: (topic, payload bytes).
+        self._relay_queue: Deque[Tuple[Topic, Any]] = deque()
+        self._relay_bell = Doorbell(self.sim, name=f"{name}.relay")
+        self._writers: dict = {}
+        self._relay_proc = self.sim.spawn(
+            self._relay_loop(), name=f"{name}.relay@{relay_node}"
+        )
+        self.published = 0
+        self.relayed = 0
+        self.received: List[Sample] = []
+        self._listeners: List[Callable[[Sample], None]] = []
+
+    # ------------------------------------------------------------ publishing
+
+    def publish(self, topic: Topic, value: Any):
+        """Ship one sample to the relay (generator for the client's
+        process); the relay multicasts it into the topic's subgroup."""
+        data = topic.data_type.serialize(value)
+        yield self.transport.per_message_cpu
+        start = max(self.sim.now, self._uplink_free)
+        finish = start + len(data) / self.transport.bandwidth
+        self._uplink_free = finish
+        arrival = finish + self.transport.latency
+        self.published += 1
+        self.sim.call_at(arrival, self._relay_enqueue, topic, data)
+        # The client returns once the sample is on the wire.
+        yield max(0.0, finish - self.sim.now)
+
+    def publisher(self, topic: Topic, samples):
+        """Convenience process: publish each sample, then finish."""
+        for value in samples:
+            yield from self.publish(topic, value)
+        writer = self._writer(topic)
+        writer.finish()
+
+    def _relay_enqueue(self, topic: Topic, data: bytes) -> None:
+        self._relay_queue.append((topic, data))
+        self._relay_bell.ring()
+
+    def _writer(self, topic: Topic) -> DataWriter:
+        writer = self._writers.get(topic.topic_id)
+        if writer is None:
+            writer = self.domain.participant(self.relay_node).create_writer(topic)
+            self._writers[topic.topic_id] = writer
+        return writer
+
+    def _relay_loop(self):
+        """The relay member's forwarding thread: drains the client's
+        publish queue into atomic multicasts."""
+        while True:
+            while self._relay_queue:
+                topic, data = self._relay_queue.popleft()
+                yield self.transport.per_message_cpu
+                writer = self._writer(topic)
+                yield from writer.write(data if isinstance(data, bytes)
+                                        else topic.data_type.serialize(data))
+                self.relayed += 1
+            yield self._relay_bell.wait()
+
+    # ----------------------------------------------------------- subscribing
+
+    def subscribe(self, topic: Topic,
+                  listener: Optional[Callable[[Sample], None]] = None) -> None:
+        """Subscribe via the relay: each sample the relay delivers is
+        forwarded to the client over the transport."""
+        if listener is not None:
+            self._listeners.append(listener)
+        reader = self.domain.participant(self.relay_node).create_reader(
+            topic, listener=lambda sample: self._forward(sample)
+        )
+        self._reader = reader
+
+    def _forward(self, sample: Sample) -> None:
+        start = max(self.sim.now, self._downlink_free)
+        finish = start + sample.size / self.transport.bandwidth
+        self._downlink_free = finish
+        self.sim.call_at(finish + self.transport.latency,
+                         self._client_receive, sample)
+
+    def _client_receive(self, sample: Sample) -> None:
+        self.received.append(sample)
+        for listener in self._listeners:
+            listener(sample)
+
+    def close(self) -> None:
+        """Detach: stop the relay loop."""
+        if self._relay_proc.alive:
+            self._relay_proc.kill()

@@ -1,0 +1,57 @@
+"""DDS quality-of-service levels (paper §4.6).
+
+The avionics DDS offers four QoS levels, each mapping to a delivery
+mode plus receiver-side storage behaviour:
+
+1. **UNORDERED** — data is delivered to the application as it arrives,
+   without waiting for stability, and discarded after delivery.
+2. **ATOMIC** — Derecho atomic multicast (total order, stability);
+   discarded after the delivery upcall.
+3. **VOLATILE** — atomic multicast + the sample is copied into an
+   in-memory store on each receiver (a joining subscriber can catch up).
+4. **LOGGED** — volatile + the sample is appended to a log file on SSD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Optional
+
+__all__ = ["QosLevel", "QosProfile"]
+
+
+class QosLevel(IntEnum):
+    """The four QoS levels, ordered by increasing guarantees."""
+
+    UNORDERED = 1
+    ATOMIC = 2
+    VOLATILE = 3
+    LOGGED = 4
+
+    @property
+    def ordered(self) -> bool:
+        """True if the level guarantees a total delivery order."""
+        return self is not QosLevel.UNORDERED
+
+    @property
+    def stores(self) -> bool:
+        """True if receivers retain the sample after the upcall."""
+        return self in (QosLevel.VOLATILE, QosLevel.LOGGED)
+
+
+@dataclass(frozen=True)
+class QosProfile:
+    """A QoS level plus its tunables."""
+
+    level: QosLevel = QosLevel.ATOMIC
+    #: Samples retained per topic in the volatile store (None = unbounded).
+    history_depth: Optional[int] = None
+
+    def __post_init__(self):
+        if self.history_depth is not None and self.history_depth <= 0:
+            raise ValueError("history_depth must be positive")
+        if self.history_depth is not None and not self.level.stores:
+            raise ValueError(
+                f"history_depth is meaningless for QoS {self.level.name}"
+            )

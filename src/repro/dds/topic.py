@@ -1,0 +1,47 @@
+"""DDS topics: 8-bit topic numbers bound to a data type and QoS."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .marshal import DataType
+from .qos import QosProfile
+
+__all__ = ["Topic", "MAX_TOPICS"]
+
+#: The OMG avionics profile uses 8-bit topic numbers (paper §1).
+MAX_TOPICS = 256
+
+
+@dataclass(frozen=True)
+class Topic:
+    """One publish-subscribe topic in the Global Data Space.
+
+    The domain maps each topic to a Derecho subgroup whose members are
+    the topic's publishers plus subscribers (§4.6).
+    """
+
+    topic_id: int
+    name: str
+    data_type: DataType
+    qos: QosProfile
+    publishers: Tuple[int, ...]
+    subscribers: Tuple[int, ...]
+    message_size: int = 10240
+    window: int = 100
+
+    def __post_init__(self):
+        if not 0 <= self.topic_id < MAX_TOPICS:
+            raise ValueError(
+                f"topic id {self.topic_id} outside the 8-bit range"
+            )
+        if not self.publishers:
+            raise ValueError("topic needs at least one publisher")
+        if self.message_size <= 0 or self.window <= 0:
+            raise ValueError("message_size and window must be positive")
+
+    @property
+    def participants(self) -> Tuple[int, ...]:
+        """Publisher and subscriber nodes, deduplicated, in node order."""
+        return tuple(sorted(set(self.publishers) | set(self.subscribers)))

@@ -1,0 +1,5 @@
+"""Predicate framework — the single polling thread over the SST (§2.4)."""
+
+from .framework import Predicate, PredicateThread
+
+__all__ = ["Predicate", "PredicateThread"]

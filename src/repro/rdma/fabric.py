@@ -1,0 +1,72 @@
+"""The RDMA fabric: a set of nodes plus the switch connecting them.
+
+The fabric is where nodes and queue pairs are created, and where failures
+are injected. It mirrors the paper's testbed: every pair of nodes is
+connected through a non-blocking switch, so the only shared resources are
+the per-node links (modeled in :mod:`repro.rdma.nic`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..sim.engine import Simulator
+from .latency import LatencyModel
+from .nic import QueuePair, RdmaNode
+
+__all__ = ["RdmaFabric"]
+
+
+class RdmaFabric:
+    """Factory and registry for :class:`RdmaNode` and :class:`QueuePair`.
+
+    >>> from repro.sim import Simulator
+    >>> fabric = RdmaFabric(Simulator())
+    >>> a, b = fabric.add_node(), fabric.add_node()
+    >>> qp = fabric.queue_pair(a.node_id, b.node_id)
+    """
+
+    def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None):
+        self.sim = sim
+        self.latency = latency if latency is not None else LatencyModel()
+        self.nodes: Dict[int, RdmaNode] = {}
+        self._qps: Dict[Tuple[int, int], QueuePair] = {}
+        self._next_id = 0
+
+    def add_node(self, node_id: Optional[int] = None) -> RdmaNode:
+        """Create a node; ids auto-increment unless given explicitly."""
+        if node_id is None:
+            node_id = self._next_id
+        if node_id in self.nodes:
+            raise ValueError(f"node id {node_id} already exists")
+        self._next_id = max(self._next_id, node_id + 1)
+        node = RdmaNode(node_id, self.sim, self.latency)
+        self.nodes[node_id] = node
+        return node
+
+    def queue_pair(self, src_id: int, dst_id: int) -> QueuePair:
+        """Get (or lazily create) the QP from ``src`` to ``dst``."""
+        if src_id == dst_id:
+            raise ValueError("no loopback queue pairs: local state is read directly")
+        key = (src_id, dst_id)
+        qp = self._qps.get(key)
+        if qp is None:
+            qp = QueuePair(self.nodes[src_id], self.nodes[dst_id])
+            self._qps[key] = qp
+        return qp
+
+    def fail_node(self, node_id: int) -> None:
+        """Crash-stop a node: all future writes to/from it are dropped.
+
+        Higher layers (membership) observe the silence and run the view
+        change protocol; the fabric itself raises nothing.
+        """
+        self.nodes[node_id].alive = False
+
+    def total_writes_posted(self) -> int:
+        """Sum of RDMA writes posted by all nodes (paper §4.1.1 metric)."""
+        return sum(n.writes_posted for n in self.nodes.values())
+
+    def total_bytes_posted(self) -> int:
+        """Sum of bytes posted by all nodes."""
+        return sum(n.bytes_posted for n in self.nodes.values())

@@ -1,0 +1,175 @@
+"""Registered memory regions for the simulated RDMA fabric.
+
+Two granularities are provided:
+
+* :class:`ByteRegion` — a plain byte-addressed region backed by a
+  ``bytearray``. Used by the low-level verbs tests to validate the
+  byte-level semantics (fence ordering, cache-line atomicity) and
+  available to any application that wants full byte fidelity.
+
+* :class:`CellRegion` — a region organized as a sequence of *cells*,
+  each holding an arbitrary immutable Python value with a declared byte
+  size. Writes are atomic per cell, which models RDMA's cache-line
+  atomicity for the SST's monotonic counters, and lets bulk payloads be
+  transferred as opaque snapshots whose *size* (not content) drives
+  timing. The SST and SMC are built on cell regions.
+
+A remote write carries a :class:`WriteSnapshot` — an immutable copy of
+the source cells/bytes taken at post time, exactly like a real NIC DMA
+from pinned memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Tuple
+
+__all__ = ["Region", "ByteRegion", "CellRegion", "WriteSnapshot"]
+
+
+@dataclass(frozen=True)
+class WriteSnapshot:
+    """Immutable payload of an RDMA write: (offset, data, size_bytes).
+
+    For a :class:`ByteRegion`, ``data`` is ``bytes`` and ``offset`` is a
+    byte offset. For a :class:`CellRegion`, ``data`` is a tuple of cell
+    values and ``offset`` is a cell index.
+    """
+
+    offset: int
+    data: Any
+    size_bytes: int
+
+
+class Region:
+    """Base class for registered memory regions.
+
+    Each region has an integer key (assigned at registration) used by
+    remote peers to address it, mirroring RDMA rkeys.
+    """
+
+    kind = "abstract"
+
+    def __init__(self, name: str = "region"):
+        self.name = name
+        self.key: int = -1  # assigned by the node at registration
+
+    # -- interface -----------------------------------------------------------
+
+    def snapshot(self, offset: int, length: int) -> WriteSnapshot:
+        """Copy ``length`` units starting at ``offset`` for transmission."""
+        raise NotImplementedError
+
+    def apply_write(self, snap: WriteSnapshot) -> None:
+        """Apply an incoming remote write."""
+        raise NotImplementedError
+
+    def size_of(self, offset: int, length: int) -> int:
+        """Byte size of the span (used for timing)."""
+        raise NotImplementedError
+
+
+class ByteRegion(Region):
+    """A byte-addressed region backed by a ``bytearray``."""
+
+    kind = "bytes"
+
+    def __init__(self, size: int, name: str = "byte-region"):
+        super().__init__(name)
+        if size <= 0:
+            raise ValueError("region size must be positive")
+        self.buf = bytearray(size)
+
+    def __len__(self) -> int:
+        return len(self.buf)
+
+    def write_local(self, offset: int, data: bytes) -> None:
+        """Local (CPU) write into the region."""
+        self._check(offset, len(data))
+        self.buf[offset : offset + len(data)] = data
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Local (CPU) read from the region."""
+        self._check(offset, length)
+        return bytes(self.buf[offset : offset + length])
+
+    def snapshot(self, offset: int, length: int) -> WriteSnapshot:
+        self._check(offset, length)
+        return WriteSnapshot(offset, bytes(self.buf[offset : offset + length]), length)
+
+    def apply_write(self, snap: WriteSnapshot) -> None:
+        self._check(snap.offset, len(snap.data))
+        self.buf[snap.offset : snap.offset + len(snap.data)] = snap.data
+
+    def size_of(self, offset: int, length: int) -> int:
+        return length
+
+    def _check(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > len(self.buf):
+            raise IndexError(
+                f"access [{offset}, {offset + length}) out of bounds for "
+                f"region {self.name!r} of size {len(self.buf)}"
+            )
+
+
+class CellRegion(Region):
+    """A region of atomically-written typed cells.
+
+    ``cell_sizes[i]`` is the byte size of cell ``i`` — it determines the
+    transfer time of writes covering that cell. Values are arbitrary
+    Python objects; callers must treat stored values as immutable (store
+    tuples/bytes/ints), which the SST layer does.
+    """
+
+    kind = "cells"
+
+    def __init__(self, cell_sizes: Sequence[int], name: str = "cell-region"):
+        super().__init__(name)
+        if not cell_sizes:
+            raise ValueError("cell region needs at least one cell")
+        if any(s <= 0 for s in cell_sizes):
+            raise ValueError("cell sizes must be positive")
+        self.cell_sizes: Tuple[int, ...] = tuple(cell_sizes)
+        self.cells: List[Any] = [None] * len(cell_sizes)
+        # Prefix sums let size_of answer in O(1).
+        self._prefix = [0]
+        for s in self.cell_sizes:
+            self._prefix.append(self._prefix[-1] + s)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total registered byte footprint of the region."""
+        return self._prefix[-1]
+
+    def write_local(self, index: int, value: Any) -> None:
+        """Local (CPU) write of one cell."""
+        self._check(index, 1)
+        self.cells[index] = value
+
+    def read(self, index: int) -> Any:
+        """Local (CPU) read of one cell."""
+        self._check(index, 1)
+        return self.cells[index]
+
+    def snapshot(self, offset: int, length: int) -> WriteSnapshot:
+        self._check(offset, length)
+        data = tuple(self.cells[offset : offset + length])
+        return WriteSnapshot(offset, data, self.size_of(offset, length))
+
+    def apply_write(self, snap: WriteSnapshot) -> None:
+        self._check(snap.offset, len(snap.data))
+        self.cells[snap.offset : snap.offset + len(snap.data)] = list(snap.data)
+
+    def size_of(self, offset: int, length: int) -> int:
+        self._check(offset, length)
+        return self._prefix[offset + length] - self._prefix[offset]
+
+    def _check(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > len(self.cells):
+            raise IndexError(
+                f"access cells [{offset}, {offset + length}) out of bounds "
+                f"for region {self.name!r} with {len(self.cells)} cells"
+            )

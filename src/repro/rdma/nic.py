@@ -1,0 +1,157 @@
+"""Simulated RDMA NICs and reliable-connection queue pairs.
+
+Modeling decisions (see DESIGN.md §2):
+
+* Each node owns one NIC with a full-duplex link; *egress* is the
+  contended resource: writes serialize FIFO through it at link bandwidth.
+  Ingress contention is not modeled separately (in the paper's workloads
+  each node's ingress and egress are symmetric and the observed limits
+  are protocol/CPU-side).
+* A write posted on a queue pair becomes visible in the remote region
+  after ``occupancy(size)`` (egress serialization) plus
+  ``wire_latency(size)``. Per-QP arrival order matches post order —
+  RDMA reliable connections guarantee this, and it is what gives the SST
+  its memory-fence property (§2.2 of the paper).
+* ``post_write`` itself consumes *no* simulated time: the ~1 µs of CPU
+  the paper attributes to posting is charged by the calling thread (see
+  :class:`~repro.rdma.latency.LatencyModel.post_overhead`), because it
+  is caller CPU, and whether it happens inside or outside a lock is
+  precisely what the §3.4 optimization changes.
+* Local send completions fire when the NIC has finished reading the
+  source buffer (end of egress occupancy).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..sim.engine import Simulator
+from .latency import LatencyModel
+from .memory import Region, WriteSnapshot
+
+__all__ = ["RdmaNode", "QueuePair"]
+
+#: Minimum spacing enforced between same-QP arrivals to preserve ordering.
+_ORDERING_EPS = 1e-12
+
+
+class RdmaNode:
+    """A machine on the RDMA fabric: NIC + registered memory regions."""
+
+    def __init__(self, node_id: int, sim: Simulator, latency: LatencyModel):
+        self.node_id = node_id
+        self.sim = sim
+        self.latency = latency
+        self.alive = True
+        self.regions: Dict[int, Region] = {}
+        self._next_key = 1
+        #: Time at which the egress link frees up.
+        self.egress_free_at = 0.0
+        #: Hooks fired when a remote write lands (used to ring doorbells).
+        self.on_remote_write: List[Callable[[Region, WriteSnapshot], None]] = []
+        # -- counters ---------------------------------------------------------
+        self.writes_posted = 0
+        self.bytes_posted = 0
+        self.writes_received = 0
+        self.bytes_received = 0
+        self.writes_dropped = 0
+
+    def register(self, region: Region) -> int:
+        """Register a memory region with the NIC; returns its key (rkey)."""
+        key = self._next_key
+        self._next_key += 1
+        region.key = key
+        self.regions[key] = region
+        return key
+
+    def deregister(self, key: int) -> None:
+        """Remove a region (e.g. at the end of a membership view)."""
+        region = self.regions.pop(key)
+        region.key = -1
+
+    def _receive(self, snap: WriteSnapshot, region_key: int) -> None:
+        """Apply an arriving remote write and notify listeners."""
+        region = self.regions.get(region_key)
+        if region is None:
+            # Region was deregistered (view change) while the write was
+            # in flight; the write is lost, as on real hardware.
+            self.writes_dropped += 1
+            return
+        region.apply_write(snap)
+        self.writes_received += 1
+        self.bytes_received += snap.size_bytes
+        for hook in self.on_remote_write:
+            hook(region, snap)
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"<RdmaNode {self.node_id} {state}>"
+
+
+class QueuePair:
+    """A reliable-connection queue pair from ``src`` to ``dst``.
+
+    Writes posted on the same QP are applied at the destination in post
+    order (the RDMA memory-fence guarantee Derecho's SST relies on).
+    """
+
+    def __init__(self, src: RdmaNode, dst: RdmaNode):
+        self.src = src
+        self.dst = dst
+        self._last_arrival = 0.0
+        self.writes = 0
+        self.bytes = 0
+
+    def post_write(
+        self,
+        local_region: Region,
+        local_offset: int,
+        remote_key: int,
+        remote_offset: int,
+        length: int,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Post a one-sided write of ``length`` units to the remote region.
+
+        The source span is snapshotted *now* (DMA from pinned memory);
+        later local mutations do not affect the in-flight write. If
+        either endpoint is down the write is silently dropped, matching
+        the behaviour the membership protocol must tolerate.
+        """
+        src, dst = self.src, self.dst
+        if not src.alive:
+            src.writes_dropped += 1
+            return
+        snap = local_region.snapshot(local_offset, length)
+        size = snap.size_bytes
+        sim = src.sim
+        model = src.latency
+
+        start = max(sim.now, src.egress_free_at)
+        finish = start + model.occupancy(size)
+        src.egress_free_at = finish
+        arrival = max(finish + model.wire_latency(size),
+                      self._last_arrival + _ORDERING_EPS)
+        self._last_arrival = arrival
+
+        src.writes_posted += 1
+        src.bytes_posted += size
+        self.writes += 1
+        self.bytes += size
+
+        remote_snap = WriteSnapshot(remote_offset, snap.data, size)
+        if dst.alive:
+            sim.call_at(arrival, self._arrive, remote_snap, remote_key)
+        else:
+            src.writes_dropped += 1
+        if on_complete is not None:
+            sim.call_at(finish, on_complete)
+
+    def _arrive(self, snap: WriteSnapshot, remote_key: int) -> None:
+        if self.dst.alive:
+            self.dst._receive(snap, remote_key)
+        else:
+            self.src.writes_dropped += 1
+
+    def __repr__(self) -> str:
+        return f"<QP {self.src.node_id}->{self.dst.node_id}>"

@@ -1,0 +1,76 @@
+"""A small ibverbs-flavoured facade over the simulated fabric.
+
+The Derecho layers use :mod:`repro.rdma.fabric` directly; this module
+offers the familiar verbs vocabulary (protection domains, memory
+regions, work requests) for applications and for the low-level tests
+that validate fabric semantics byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .fabric import RdmaFabric
+from .memory import ByteRegion, Region
+from .nic import QueuePair, RdmaNode
+
+__all__ = ["ProtectionDomain", "MemoryRegionHandle", "WorkRequest", "post_write"]
+
+
+@dataclass(frozen=True)
+class MemoryRegionHandle:
+    """Registration receipt: which node registered which region."""
+
+    node_id: int
+    key: int
+    region: Region
+
+
+@dataclass(frozen=True)
+class WorkRequest:
+    """A one-sided RDMA write work request."""
+
+    local: MemoryRegionHandle
+    local_offset: int
+    remote: MemoryRegionHandle
+    remote_offset: int
+    length: int
+    on_complete: Optional[Callable[[], None]] = None
+
+
+class ProtectionDomain:
+    """Per-node registration context, in the style of ``ibv_pd``."""
+
+    def __init__(self, fabric: RdmaFabric, node: RdmaNode):
+        self.fabric = fabric
+        self.node = node
+
+    def register_memory(self, region: Region) -> MemoryRegionHandle:
+        """Register a region for remote access; returns its handle."""
+        key = self.node.register(region)
+        return MemoryRegionHandle(self.node.node_id, key, region)
+
+    def alloc_buffer(self, size: int, name: str = "buffer") -> MemoryRegionHandle:
+        """Allocate + register a fresh byte region in one step."""
+        return self.register_memory(ByteRegion(size, name=name))
+
+    def queue_pair(self, remote_node_id: int) -> QueuePair:
+        """Connect (or reuse) a reliable queue pair to a remote node."""
+        return self.fabric.queue_pair(self.node.node_id, remote_node_id)
+
+
+def post_write(qp: QueuePair, wr: WorkRequest) -> None:
+    """Post a work request on a queue pair (``ibv_post_send`` analogue)."""
+    if wr.local.node_id != qp.src.node_id:
+        raise ValueError("local buffer not registered on the QP's source node")
+    if wr.remote.node_id != qp.dst.node_id:
+        raise ValueError("remote buffer not registered on the QP's destination node")
+    qp.post_write(
+        wr.local.region,
+        wr.local_offset,
+        wr.remote.key,
+        wr.remote_offset,
+        wr.length,
+        on_complete=wr.on_complete,
+    )

@@ -1,0 +1,18 @@
+"""RDMC — large-message multicast (Derecho's second data plane).
+
+Referenced by the Spindle paper's Figure 4: SMC is the small-message
+path; beyond ~12 members or for large messages, relay-based RDMC
+schedules win. See :mod:`repro.rdmc.schedule` for the algorithms.
+"""
+
+from .schedule import SCHEMES, Transfer, build_schedule, sends_by_holder
+from .session import RdmcGroup, RdmcSession
+
+__all__ = [
+    "RdmcGroup",
+    "RdmcSession",
+    "Transfer",
+    "build_schedule",
+    "sends_by_holder",
+    "SCHEMES",
+]

@@ -1,0 +1,132 @@
+"""Transfer schedules for RDMC-style large-message multicast.
+
+Derecho uses a second data plane, RDMC (Behrens et al., DSN'18), for
+large messages: the message is cut into blocks and relayed through the
+receivers according to a precomputed schedule, so the sender's egress
+link stops being the bottleneck. The Spindle paper points at it in
+Figure 4 ("for subgroups with more than 12 members... shifting to RDMC
+might be advisable"); this subpackage supplies that substrate.
+
+Three schedules are provided:
+
+* ``sequential`` — the SMC strategy: the sender unicasts the whole
+  message to each receiver in turn. Completion ≈ (n-1) · msg_time.
+* ``binomial`` — whole-message binomial tree (recursive doubling),
+  store-and-forward: a relay starts sending only once it holds the
+  complete message. Completion ≈ ceil(log2 n) · msg_time.
+* ``binomial_pipeline`` — block-granular (cut-through) doubling,
+  RDMC's key idea: a relay forwards each block as soon as it arrives,
+  so block ``b``'s tree overlaps block ``b-1``'s. Completion ≈
+  (k + log2 n) · block_time for k blocks.
+
+A schedule is a list of :class:`Transfer` steps; execution is dynamic —
+a node performs its sends for a block as soon as it holds that block,
+and link serialization provides the timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["Transfer", "build_schedule", "SCHEMES"]
+
+SCHEMES = ("sequential", "binomial", "binomial_pipeline")
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One scheduled block relay: rank ``src`` sends ``block`` to ``dst``.
+
+    Ranks are positions in the session's member list with the sender at
+    rank 0. ``round`` orders a node's sends for the same block.
+    """
+
+    src: int
+    dst: int
+    block: int
+    round: int
+
+
+def _sequential(n: int, blocks: int) -> List[Transfer]:
+    """Sender unicasts every block to each receiver in turn."""
+    steps = []
+    for dst in range(1, n):
+        for b in range(blocks):
+            steps.append(Transfer(0, dst, b, round=dst - 1))
+    return steps
+
+
+def _binomial(n: int, blocks: int) -> List[Transfer]:
+    """Recursive doubling on whole messages: in round r, every rank
+    i < 2^r forwards all blocks to rank i + 2^r (if it exists)."""
+    steps = []
+    r = 0
+    while (1 << r) < n:
+        for i in range(min(1 << r, n)):
+            dst = i + (1 << r)
+            if dst < n:
+                for b in range(blocks):
+                    steps.append(Transfer(i, dst, b, round=r))
+        r += 1
+    return steps
+
+
+def _binomial_pipeline(n: int, blocks: int) -> List[Transfer]:
+    """Block-granular doubling over per-block *rotated* relay trees.
+
+    The sender (rank 0) injects each block exactly once, into a
+    different receiver each time (rotation), and the receivers relay it
+    among themselves along a binomial tree rooted at that receiver. Two
+    properties follow, both essential to RDMC's performance:
+
+    * the sender's egress carries the message once (k blocks), not
+      log2(n) copies of it as in the whole-message tree;
+    * relay load is spread evenly — across blocks every receiver
+      forwards roughly the same number of blocks.
+
+    Completion approaches (k + log2 n) block-transmission times.
+    """
+    steps = []
+    receivers = n - 1
+    for b in range(blocks):
+        rotation = b % receivers
+        # Virtual receiver order for this block's tree.
+        order = [1 + ((j + rotation) % receivers) for j in range(receivers)]
+        steps.append(Transfer(0, order[0], b, round=b))
+        r = 0
+        while (1 << r) < receivers:
+            for i in range(min(1 << r, receivers)):
+                dst = i + (1 << r)
+                if dst < receivers:
+                    steps.append(
+                        Transfer(order[i], order[dst], b, round=b + 1 + r)
+                    )
+            r += 1
+    return steps
+
+
+def build_schedule(scheme: str, n: int, blocks: int) -> List[Transfer]:
+    """Build the relay schedule for ``n`` members (sender = rank 0)."""
+    if n < 2:
+        return []
+    if blocks < 1:
+        raise ValueError("need at least one block")
+    if scheme == "sequential":
+        return _sequential(n, blocks)
+    if scheme == "binomial":
+        return _binomial(n, blocks)
+    if scheme == "binomial_pipeline":
+        return _binomial_pipeline(n, blocks)
+    raise ValueError(f"unknown scheme {scheme!r}; pick one of {SCHEMES}")
+
+
+def sends_by_holder(schedule: List[Transfer]) -> Dict[Tuple[int, int], List[Transfer]]:
+    """Index the schedule by (holder rank, block): the sends a node owes
+    once it holds that block, ordered by round."""
+    index: Dict[Tuple[int, int], List[Transfer]] = {}
+    for step in schedule:
+        index.setdefault((step.src, step.block), []).append(step)
+    for sends in index.values():
+        sends.sort(key=lambda s: s.round)
+    return index

@@ -1,0 +1,231 @@
+"""RDMC multicast sessions: executing a relay schedule over the fabric.
+
+One :class:`RdmcGroup` represents a set of nodes that exchange large
+messages; each :meth:`~RdmcGroup.multicast` creates a session that cuts
+the message into blocks, registers a staging region at every member,
+and relays blocks according to the chosen schedule. Relaying is
+event-driven: a node performs its scheduled sends for a block the
+moment the block lands in its staging region, and the NIC egress links
+serialize competing transfers — the pipelining behaviour emerges from
+the fabric model rather than from precomputed timings.
+
+Modeling note: RDMC worker CPU costs (~1 µs per posted block) are not
+charged — large-message multicast is bandwidth-dominated, which is the
+regime the SMC-vs-RDMC crossover benchmark explores.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..rdma.fabric import RdmaFabric
+from ..rdma.memory import CellRegion, Region, WriteSnapshot
+from .schedule import SCHEMES, Transfer, build_schedule, sends_by_holder
+
+__all__ = ["RdmcGroup", "RdmcSession"]
+
+_session_ids = itertools.count()
+
+
+class RdmcSession:
+    """One large-message multicast in flight."""
+
+    def __init__(
+        self,
+        group: "RdmcGroup",
+        sender: int,
+        size: int,
+        payload: Optional[bytes],
+        on_delivered: Optional[Callable[[int], None]],
+    ):
+        if size <= 0:
+            raise ValueError("message size must be positive")
+        if payload is not None and len(payload) != size:
+            raise ValueError("payload length must equal size")
+        self.session_id = next(_session_ids)
+        self.group = group
+        self.sender = sender
+        self.size = size
+        self.on_delivered = on_delivered
+        block = group.block_size
+        self.num_blocks = (size + block - 1) // block
+        self.block_sizes = [
+            min(block, size - b * block) for b in range(self.num_blocks)
+        ]
+        self.block_payloads: List[Optional[bytes]] = [
+            payload[b * block : b * block + self.block_sizes[b]]
+            if payload is not None else None
+            for b in range(self.num_blocks)
+        ]
+        # Member order: sender first (rank 0), then the rest in id order.
+        self.ranks: List[int] = [sender] + [
+            m for m in group.members if m != sender
+        ]
+        self._rank_of = {m: r for r, m in enumerate(self.ranks)}
+        schedule = build_schedule(group.scheme, len(self.ranks),
+                                  self.num_blocks)
+        self._sends = sends_by_holder(schedule)
+        self._held: List[Set[int]] = [set() for _ in self.ranks]
+        self._delivered: Set[int] = set()
+        self.start_time = group.fabric.sim.now
+        self.completion_times: Dict[int, float] = {}
+        # Staging regions: one cell per block, at every member.
+        self.regions: Dict[int, CellRegion] = {}
+        self._region_keys: Dict[int, int] = {}
+        for member in self.ranks:
+            region = CellRegion(
+                self.block_sizes,
+                name=f"rdmc-s{self.session_id}@{member}",
+            )
+            node = group.fabric.nodes[member]
+            key = node.register(region)
+            self.regions[member] = region
+            self._region_keys[member] = key
+        self._start()
+
+    # ------------------------------------------------------------- execution
+
+    def _start(self) -> None:
+        # Load the message into the sender's staging region.
+        sender_region = self.regions[self.sender]
+        for b in range(self.num_blocks):
+            sender_region.write_local(
+                b, self.block_payloads[b]
+                if self.block_payloads[b] is not None
+                else self.block_sizes[b]
+            )
+        self._held[0] = set(range(self.num_blocks))
+        self._mark_complete(0)
+        if self.group.scheme == "binomial":
+            self._relay_all(0)
+        else:
+            for b in range(self.num_blocks):
+                self._relay(0, b)
+
+    def _relay(self, rank: int, block: int) -> None:
+        """Post this holder's scheduled sends for a block it now holds."""
+        self._post(self._sends.get((rank, block), ()))
+
+    def _relay_all(self, rank: int) -> None:
+        """Store-and-forward relaying: post every owed send, whole
+        message to the round-0 target first, then round 1, etc."""
+        sends = []
+        for block in range(self.num_blocks):
+            sends.extend(self._sends.get((rank, block), ()))
+        sends.sort(key=lambda s: (s.round, s.dst, s.block))
+        self._post(sends)
+
+    def _post(self, steps) -> None:
+        for step in steps:
+            src = self.ranks[step.src]
+            dst = self.ranks[step.dst]
+            qp = self.group.fabric.queue_pair(src, dst)
+            qp.post_write(
+                self.regions[src], step.block,
+                self._region_keys[dst], step.block, 1,
+            )
+
+    def _on_block_arrival(self, member: int, block: int) -> None:
+        rank = self._rank_of[member]
+        held = self._held[rank]
+        if block in held:
+            return
+        held.add(block)
+        if self.group.scheme == "binomial":
+            # Whole-message binomial tree: store-and-forward — a relay
+            # only starts sending once it holds the complete message.
+            if len(held) == self.num_blocks:
+                self._mark_complete(rank)
+                self._relay_all(rank)
+            return
+        # Block-granular (cut-through) relaying: RDMC's key idea.
+        self._relay(rank, block)
+        if len(held) == self.num_blocks:
+            self._mark_complete(rank)
+
+    def _mark_complete(self, rank: int) -> None:
+        member = self.ranks[rank]
+        if member in self._delivered:
+            return
+        self._delivered.add(member)
+        self.completion_times[member] = self.group.fabric.sim.now
+        if self.on_delivered is not None and member != self.sender:
+            self.on_delivered(member)
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def complete(self) -> bool:
+        """True once every member holds the whole message."""
+        return len(self._delivered) == len(self.ranks)
+
+    def payload_at(self, member: int) -> Optional[bytes]:
+        """Reassemble the message at a member (content mode only)."""
+        region = self.regions[member]
+        parts = [region.read(b) for b in range(self.num_blocks)]
+        if any(not isinstance(p, (bytes, bytearray)) for p in parts):
+            return None
+        return b"".join(parts)
+
+    def completion_time(self, member: int) -> float:
+        """Seconds from session start to full receipt at ``member``."""
+        return self.completion_times[member] - self.start_time
+
+    def release(self) -> None:
+        """Deregister the staging regions (call after delivery)."""
+        for member, key in self._region_keys.items():
+            node = self.group.fabric.nodes[member]
+            if key in node.regions:
+                node.deregister(key)
+
+
+class RdmcGroup:
+    """A large-message multicast group over the simulated fabric."""
+
+    def __init__(
+        self,
+        fabric: RdmaFabric,
+        members: Sequence[int],
+        block_size: int = 1024 * 1024,
+        scheme: str = "binomial_pipeline",
+    ):
+        if scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme {scheme!r}; pick one of {SCHEMES}")
+        if len(set(members)) != len(members) or len(members) < 2:
+            raise ValueError("need at least two distinct members")
+        if block_size <= 0:
+            raise ValueError("block size must be positive")
+        self.fabric = fabric
+        self.members = list(members)
+        self.block_size = block_size
+        self.scheme = scheme
+        self._sessions: Dict[Tuple[int, int], RdmcSession] = {}
+        for member in self.members:
+            fabric.nodes[member].on_remote_write.append(
+                self._make_hook(member)
+            )
+
+    def _make_hook(self, member: int):
+        def hook(region: Region, snap: WriteSnapshot) -> None:
+            session = self._sessions.get((member, region.key))
+            if session is not None:
+                for block in range(snap.offset, snap.offset + len(snap.data)):
+                    session._on_block_arrival(member, block)
+
+        return hook
+
+    def multicast(
+        self,
+        sender: int,
+        size: int,
+        payload: Optional[bytes] = None,
+        on_delivered: Optional[Callable[[int], None]] = None,
+    ) -> RdmcSession:
+        """Start a large-message multicast from ``sender``."""
+        if sender not in self.members:
+            raise ValueError(f"{sender} is not a group member")
+        session = RdmcSession(self, sender, size, payload, on_delivered)
+        for member in self.members:
+            self._sessions[(member, session._region_keys[member])] = session
+        return session

@@ -1,0 +1,149 @@
+"""Discrete-event simulation kernel.
+
+The kernel is a small, deterministic event-driven simulator in the style
+of SimPy: a :class:`Simulator` owns a heap of timestamped callbacks and a
+notion of *simulated time*, and :class:`~repro.sim.process.Process`
+objects (generator coroutines) advance that time by yielding delays and
+synchronization primitives.
+
+Determinism: events scheduled for the same timestamp fire in scheduling
+order (a monotonically increasing sequence number breaks ties), so a run
+with a fixed seed is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["Simulator", "SimulationError", "Timer"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. time travel)."""
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation.
+
+    Returned by :meth:`Simulator.call_at` / :meth:`Simulator.call_after`.
+    Cancelling an already-fired timer is a no-op.
+    """
+
+    __slots__ = ("time", "_fn", "_args", "_cancelled", "_fired")
+
+    def __init__(self, time: float, fn: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self._fn = fn
+        self._args = args
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if already fired)."""
+        self._cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """True while the callback is still pending."""
+        return not (self._cancelled or self._fired)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self._fired = True
+        self._fn(*self._args)
+
+
+class Simulator:
+    """The simulation clock and event queue.
+
+    Typical usage::
+
+        sim = Simulator(seed=42)
+        sim.spawn(my_generator(), name="worker")
+        sim.run(until=1.0)   # simulated seconds
+
+    All timestamps are floats in *seconds*; helpers for µs/ns literals
+    live in :mod:`repro.sim.units`.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._now: float = 0.0
+        self._heap: List[Tuple[float, int, Timer]] = []
+        self._seq = itertools.count()
+        self._processes: List[Any] = []  # live Process objects (for debugging)
+        self.rng = random.Random(seed)
+        self._stopped = False
+
+    # ------------------------------------------------------------------ time
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------- scheduling
+
+    def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        timer = Timer(time, fn, args)
+        heapq.heappush(self._heap, (time, next(self._seq), timer))
+        return timer
+
+    def call_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.call_at(self._now + delay, fn, *args)
+
+    def spawn(self, generator, name: str = "proc"):
+        """Start a new simulated process from a generator. See Process."""
+        from .process import Process
+
+        proc = Process(self, generator, name=name)
+        self._processes.append(proc)
+        return proc
+
+    # ---------------------------------------------------------------- running
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the queue drains or ``until`` is reached.
+
+        Returns the simulated time at which the run stopped. When ``until``
+        is given, time is advanced to exactly ``until`` even if the queue
+        drained earlier (matching SimPy semantics).
+        """
+        self._stopped = False
+        while self._heap and not self._stopped:
+            time, _seq, timer = self._heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._heap)
+            if not timer.active:
+                continue
+            self._now = time
+            timer._fire()
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+        return self._now
+
+    def run_until_idle(self, max_time: Optional[float] = None) -> float:
+        """Run until no events remain (optionally bounded by ``max_time``)."""
+        return self.run(until=max_time)
+
+    def peek(self) -> Optional[float]:
+        """Timestamp of the next pending event, or None if queue is empty."""
+        while self._heap and not self._heap[0][2].active:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,111 @@
+"""Generator-based simulated processes.
+
+A process is a Python generator driven by the :class:`~repro.sim.engine.
+Simulator`. The generator expresses the passage of simulated time and
+synchronization by *yielding*:
+
+======================  ====================================================
+yielded value           meaning
+======================  ====================================================
+``float | int`` >= 0    sleep for that many simulated seconds
+:class:`Event`          wait until the event triggers; ``yield`` evaluates
+                        to the event's value
+:class:`Process`        join: wait until that process finishes; evaluates
+                        to its result
+``None``                re-schedule immediately (cooperative yield point)
+======================  ====================================================
+
+Exceptions raised inside a process propagate out of ``Simulator.run`` —
+a crashing process crashes the simulation, which is the behaviour we want
+in tests. A process killed with :meth:`Process.kill` simply never resumes
+(used for failure injection at the node level).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .engine import SimulationError, Simulator
+from .sync import Event
+
+__all__ = ["Process"]
+
+
+class Process:
+    """A simulated thread of control.
+
+    Create via :meth:`Simulator.spawn`. The ``completion`` event triggers
+    with the generator's return value when it finishes.
+    """
+
+    __slots__ = ("sim", "name", "_gen", "_alive", "result", "completion")
+
+    def __init__(self, sim: Simulator, gen: Generator[Any, Any, Any], name: str = "proc"):
+        if not hasattr(gen, "send"):
+            raise SimulationError(f"Process requires a generator, got {type(gen)!r}")
+        self.sim = sim
+        self.name = name
+        self._gen = gen
+        self._alive = True
+        self.result: Any = None
+        self.completion = Event(sim, name=f"{name}.completion")
+        sim.call_after(0.0, self._step, None)
+
+    # ----------------------------------------------------------------- state
+
+    @property
+    def alive(self) -> bool:
+        """True while the process can still run."""
+        return self._alive
+
+    def kill(self) -> None:
+        """Stop the process permanently; it will never be resumed.
+
+        Used for failure injection: a 'crashed' node's threads are killed,
+        and any events that later try to resume them are ignored.
+        """
+        if self._alive:
+            self._alive = False
+            self._gen.close()
+
+    # ------------------------------------------------------------- execution
+
+    def _step(self, value: Any) -> None:
+        """Advance the generator by one yield, interpreting the result."""
+        if not self._alive:
+            return
+        try:
+            yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self._alive = False
+            self.result = stop.value
+            self.completion.trigger(stop.value)
+            return
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        """Schedule the next resumption according to the yielded value."""
+        if yielded is None:
+            self.sim.call_after(0.0, self._step, None)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative delay {yielded}"
+                )
+            self.sim.call_after(float(yielded), self._step, None)
+        elif isinstance(yielded, Event):
+            yielded.add_waiter(self._on_event)
+        elif isinstance(yielded, Process):
+            yielded.completion.add_waiter(self._on_event)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported value {yielded!r}"
+            )
+
+    def _on_event(self, value: Any) -> None:
+        if self._alive:
+            self._step(value)
+
+    def __repr__(self) -> str:
+        state = "alive" if self._alive else "done"
+        return f"<Process {self.name} {state} @{self.sim.now:.9f}>"

@@ -1,0 +1,151 @@
+"""Synchronization primitives for simulated processes.
+
+All primitives schedule wakeups *through the simulator queue* (never
+synchronously), so triggering an event from inside a running process is
+always safe and same-time wakeups preserve FIFO order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+__all__ = ["Event", "Doorbell", "Lock"]
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    ``trigger(value)`` wakes every current and future waiter with
+    ``value``. Triggering twice is an error (one-shot semantics keep the
+    protocols honest).
+    """
+
+    __slots__ = ("sim", "name", "triggered", "value", "_waiters")
+
+    def __init__(self, sim, name: str = "event"):
+        self.sim = sim
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List[Callable[[Any], None]] = []
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, waking all waiters via the event queue."""
+        if self.triggered:
+            raise RuntimeError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            self.sim.call_after(0.0, waiter, value)
+
+    def add_waiter(self, callback: Callable[[Any], None]) -> None:
+        """Register a callback for the trigger (fires immediately-queued
+        if the event already triggered)."""
+        if self.triggered:
+            self.sim.call_after(0.0, callback, self.value)
+        else:
+            self._waiters.append(callback)
+
+
+class Doorbell:
+    """A resettable signal used to wake an idle polling thread.
+
+    ``wait()`` hands back a fresh :class:`Event` that the caller yields
+    on; ``ring()`` triggers every outstanding wait. Rings with nobody
+    waiting are remembered (a single pending flag), so a poller that
+    checks state, then waits, cannot miss a wakeup that raced in between:
+
+        while True:
+            work = do_all_available_work()
+            if not work:
+                yield doorbell.wait()     # returns at once if ring pending
+    """
+
+    __slots__ = ("sim", "name", "_pending", "_waiters", "rings")
+
+    def __init__(self, sim, name: str = "doorbell"):
+        self.sim = sim
+        self.name = name
+        self._pending = False
+        self._waiters: List[Event] = []
+        self.rings = 0
+
+    def ring(self) -> None:
+        """Wake all waiters; remember the ring if nobody is waiting."""
+        self.rings += 1
+        if self._waiters:
+            waiters, self._waiters = self._waiters, []
+            for event in waiters:
+                event.trigger(None)
+        else:
+            self._pending = True
+
+    def wait(self) -> Event:
+        """Return an event that fires on the next (or a pending) ring."""
+        event = Event(self.sim, name=f"{self.name}.wait")
+        if self._pending:
+            self._pending = False
+            event.trigger(None)
+        else:
+            self._waiters.append(event)
+        return event
+
+    @property
+    def waiting(self) -> int:
+        """Number of processes currently blocked on the doorbell."""
+        return len(self._waiters)
+
+
+class Lock:
+    """A FIFO mutex for simulated processes.
+
+    Usage inside a process generator::
+
+        yield lock.acquire()
+        try:
+            ... critical section (may yield delays) ...
+        finally:
+            lock.release()
+
+    Contention statistics (`contended_acquires`, `wait_time`) feed the
+    thread-synchronization experiments (paper §3.4).
+    """
+
+    __slots__ = ("sim", "name", "locked", "_queue", "acquires",
+                 "contended_acquires", "wait_time", "_acquire_times")
+
+    def __init__(self, sim, name: str = "lock"):
+        self.sim = sim
+        self.name = name
+        self.locked = False
+        self._queue: Deque[Event] = deque()
+        self.acquires = 0
+        self.contended_acquires = 0
+        self.wait_time = 0.0
+        self._acquire_times: Deque[float] = deque()
+
+    def acquire(self) -> Event:
+        """Return an event that fires once the lock is held by the caller."""
+        self.acquires += 1
+        event = Event(self.sim, name=f"{self.name}.acquire")
+        if not self.locked and not self._queue:
+            self.locked = True
+            event.trigger(None)
+        else:
+            self.contended_acquires += 1
+            self._acquire_times.append(self.sim.now)
+            self._queue.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release the lock, handing it to the next queued waiter (FIFO)."""
+        if not self.locked:
+            raise RuntimeError(f"lock {self.name!r} released while not held")
+        if self._queue:
+            event = self._queue.popleft()
+            self.wait_time += self.sim.now - self._acquire_times.popleft()
+            event.trigger(None)  # lock stays 'locked', ownership transfers
+        else:
+            self.locked = False

@@ -1,0 +1,52 @@
+"""Unit helpers for simulated time (seconds) and data sizes (bytes).
+
+The whole codebase expresses time as float seconds; these tiny helpers
+keep literals readable (``us(1.73)`` instead of ``1.73e-6``).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ns", "us", "ms", "sec",
+    "KB", "MB", "GB",
+    "gb_per_s", "to_us", "to_ms",
+]
+
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+
+def ns(x: float) -> float:
+    """Nanoseconds to seconds."""
+    return x * 1e-9
+
+
+def us(x: float) -> float:
+    """Microseconds to seconds."""
+    return x * 1e-6
+
+
+def ms(x: float) -> float:
+    """Milliseconds to seconds."""
+    return x * 1e-3
+
+
+def sec(x: float) -> float:
+    """Seconds (identity, for symmetry in configs)."""
+    return float(x)
+
+
+def gb_per_s(x: float) -> float:
+    """GB/s to bytes/second (decimal GB, matching '12.5 GB/s' link specs)."""
+    return x * 1e9
+
+
+def to_us(seconds: float) -> float:
+    """Seconds to microseconds (for reporting)."""
+    return seconds * 1e6
+
+
+def to_ms(seconds: float) -> float:
+    """Seconds to milliseconds (for reporting)."""
+    return seconds * 1e3

@@ -1,0 +1,14 @@
+"""SMC — small-message multicast: ring-buffer slots over the SST (§2.3)."""
+
+from .multicast import SMC, SubgroupColumns
+from .ring import SlotValue, contiguous_seq, ring_spans, seq_of, slot_position
+
+__all__ = [
+    "SMC",
+    "SubgroupColumns",
+    "SlotValue",
+    "contiguous_seq",
+    "ring_spans",
+    "seq_of",
+    "slot_position",
+]

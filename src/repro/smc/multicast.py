@@ -1,0 +1,148 @@
+"""SMC — the small-message multicast mechanics over SST slots.
+
+This module owns the *mechanics* of the per-subgroup slot block inside
+the SST: writing messages into ring slots, reading peers' slots, and
+pushing contiguous slot spans to subgroup members (one or two RDMA
+writes per member, §3.2). The *policy* — when to send, when a slot is
+reusable, ordering, acknowledgments — lives in
+:mod:`repro.core.multicast`.
+
+Column layout per subgroup (allocated by the group builder, contiguous):
+
+    [received_num][delivered_num][nulls][slot 0] ... [slot w-1]
+
+Keeping the three control counters adjacent means any acknowledgment
+pushes the whole 24-byte control span in a single RDMA write, which is
+both what Derecho does (contiguous row ranges) and what makes batched
+acks one-write cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, List, Optional, Sequence
+
+from ..sst.table import SST
+from .ring import SlotValue, ring_spans, slot_position
+
+__all__ = ["SubgroupColumns", "SMC"]
+
+
+class SubgroupColumns:
+    """Column indices of one subgroup's block in the SST layout."""
+
+    __slots__ = ("received", "delivered", "nulls", "persisted",
+                 "recv_from0", "num_senders", "first_slot", "window")
+
+    def __init__(self, received: int, delivered: int, nulls: int,
+                 first_slot: int, window: int,
+                 recv_from0: int = -1, num_senders: int = 0,
+                 persisted: int = -1):
+        self.received = received
+        self.delivered = delivered
+        self.nulls = nulls
+        self.persisted = persisted
+        self.recv_from0 = recv_from0
+        self.num_senders = num_senders
+        self.first_slot = first_slot
+        self.window = window
+
+    @classmethod
+    def declare(cls, layout, subgroup_id: int, window: int,
+                message_size: int, num_senders: int = 0,
+                per_sender_acks: bool = False,
+                persistent: bool = False) -> "SubgroupColumns":
+        """Append this subgroup's columns to a layout being built.
+
+        ``per_sender_acks`` adds one receive-ack counter per sender —
+        used by the unordered (DDS QoS 1) mode, where slot reuse cannot
+        rely on contiguous-sequence delivery acknowledgments.
+        ``persistent`` adds the persisted_num column of the durable
+        delivery mode.
+        """
+        received = layout.counter(f"sg{subgroup_id}.received_num")
+        delivered = layout.counter(f"sg{subgroup_id}.delivered_num")
+        nulls = layout.counter(f"sg{subgroup_id}.nulls", initial=0)
+        persisted = -1
+        if persistent:
+            persisted = layout.counter(f"sg{subgroup_id}.persisted_num")
+        recv_from0 = -1
+        if per_sender_acks:
+            recv_from0 = layout.counter(f"sg{subgroup_id}.recv_from0", initial=0)
+            for j in range(1, num_senders):
+                layout.counter(f"sg{subgroup_id}.recv_from{j}", initial=0)
+        first_slot = layout.slot(f"sg{subgroup_id}.slot0", message_size)
+        for i in range(1, window):
+            layout.slot(f"sg{subgroup_id}.slot{i}", message_size)
+        return cls(received, delivered, nulls, first_slot, window,
+                   recv_from0, num_senders if per_sender_acks else 0,
+                   persisted)
+
+    def recv_from(self, sender_rank: int) -> int:
+        """Per-sender receive-ack column (unordered mode only)."""
+        if self.recv_from0 < 0:
+            raise ValueError("subgroup has no per-sender ack columns")
+        return self.recv_from0 + sender_rank
+
+    @property
+    def control_span(self):
+        """(lo, hi) column span of the control counters (including the
+        persisted_num and per-sender ack columns when present)."""
+        if self.num_senders:
+            return self.received, self.recv_from0 + self.num_senders
+        if self.persisted >= 0:
+            return self.received, self.persisted + 1
+        return self.received, self.nulls + 1
+
+
+class SMC:
+    """One node's slot-block mechanics for one subgroup."""
+
+    def __init__(self, sst: SST, cols: SubgroupColumns, members: Sequence[int]):
+        self.sst = sst
+        self.cols = cols
+        self.members = list(members)
+        self.window = cols.window
+        self._peers = [m for m in self.members if m != sst.node_id]
+
+    # ----------------------------------------------------------- local slots
+
+    def write_slot(self, value: SlotValue) -> None:
+        """Place a message into the local ring slot for its real_index."""
+        pos = slot_position(value.real_index, self.window)
+        self.sst.set(self.cols.first_slot + pos, value)
+
+    def read_slot(self, sender: int, real_index: int) -> Optional[SlotValue]:
+        """Read the slot where ``sender``'s message ``real_index`` would be.
+
+        Returns the current occupant (possibly an older wrap) or None.
+        """
+        pos = slot_position(real_index, self.window)
+        return self.sst.read(sender, self.cols.first_slot + pos)
+
+    def has_message(self, sender: int, real_index: int) -> bool:
+        """True if ``sender``'s message with ``real_index`` has arrived."""
+        slot = self.read_slot(sender, real_index)
+        return slot is not None and slot.real_index == real_index
+
+    # ----------------------------------------------------------------- push
+
+    def push_messages(self, lo: int, hi: int) -> Generator[float, None, int]:
+        """Push local messages with real indices ``[lo, hi)`` to peers.
+
+        At most two RDMA writes per peer (ring wrap-around). A generator
+        to ``yield from`` — each post charges the caller CPU. Returns
+        the number of RDMA writes posted.
+        """
+        spans = ring_spans(lo, hi, self.window)
+        posted = 0
+        for first, count in spans:
+            col_lo = self.cols.first_slot + first
+            yield from self.sst.push(col_lo, col_lo + count, self._peers)
+            posted += len(self._peers)
+        return posted
+
+    def push_control(self) -> Generator[float, None, None]:
+        """Push the control span (received/delivered/nulls) to peers —
+        the (possibly batched) acknowledgment write."""
+        lo, hi = self.cols.control_span
+        yield from self.sst.push(lo, hi, self._peers)

@@ -1,0 +1,127 @@
+"""SST column layout: typed, fixed-size columns of monotonic state.
+
+The SST (paper §2.2) is a replicated table: one row per node, a fixed
+set of columns agreed at view installation. Columns are *cells* of the
+underlying :class:`~repro.rdma.memory.CellRegion` — each cell is written
+atomically, which models RDMA cache-line atomicity for counters/flags
+and per-slot atomicity for SMC message slots.
+
+Column kinds:
+
+* ``counter`` — a monotonically non-decreasing 8-byte integer
+  (``received_num``, ``delivered_num``, null counts, heartbeats).
+* ``flag`` — a boolean that only ever goes ``False → True``
+  (failure suspicions, wedged).
+* ``slot`` — an SMC ring-buffer slot: message area of ``message_size``
+  bytes plus an 8-byte counter (paper §2.3).
+* ``blob`` — an opaque fixed-size area guarded by a separate counter
+  column (the guarded-list idiom of §2.2, used by the membership
+  protocol).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["ColumnSpec", "SSTLayout", "COUNTER", "FLAG", "SLOT", "BLOB"]
+
+COUNTER = "counter"
+FLAG = "flag"
+SLOT = "slot"
+BLOB = "blob"
+
+#: Byte size of a counter/flag cell (one cache line would be 64 B on the
+#: paper's hardware; what matters for timing is the 8 B transferred).
+_COUNTER_BYTES = 8
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One SST column: name, kind, transfer size and initial value."""
+
+    name: str
+    kind: str
+    size: int
+    initial: Any
+
+
+class SSTLayout:
+    """Builder for the agreed column layout of a view's SST.
+
+    Columns are identified by name and addressed by their integer index,
+    which is also their cell index in each row's
+    :class:`~repro.rdma.memory.CellRegion`. Once :meth:`freeze` is
+    called the layout is immutable (the paper: "the memory layout of the
+    application during a view remains unchanged").
+    """
+
+    def __init__(self):
+        self.columns: List[ColumnSpec] = []
+        self._index: Dict[str, int] = {}
+        self._frozen = False
+
+    # ------------------------------------------------------------- builders
+
+    def counter(self, name: str, initial: int = -1) -> int:
+        """Add a monotonic counter column (default start -1, paper §2.2)."""
+        return self._add(ColumnSpec(name, COUNTER, _COUNTER_BYTES, initial))
+
+    def flag(self, name: str, initial: bool = False) -> int:
+        """Add a monotonic boolean column."""
+        return self._add(ColumnSpec(name, FLAG, _COUNTER_BYTES, initial))
+
+    def slot(self, name: str, message_size: int) -> int:
+        """Add an SMC slot column (message area + 8-byte counter)."""
+        if message_size <= 0:
+            raise ValueError("message size must be positive")
+        return self._add(
+            ColumnSpec(name, SLOT, message_size + _COUNTER_BYTES, None)
+        )
+
+    def blob(self, name: str, size: int, initial: Any = None) -> int:
+        """Add an opaque fixed-size column (guarded-data idiom)."""
+        if size <= 0:
+            raise ValueError("blob size must be positive")
+        return self._add(ColumnSpec(name, BLOB, size, initial))
+
+    def _add(self, spec: ColumnSpec) -> int:
+        if self._frozen:
+            raise RuntimeError("layout is frozen; columns are fixed per view")
+        if spec.name in self._index:
+            raise ValueError(f"duplicate column name {spec.name!r}")
+        index = len(self.columns)
+        self.columns.append(spec)
+        self._index[spec.name] = index
+        return index
+
+    def freeze(self) -> "SSTLayout":
+        """Lock the layout (returns self for chaining)."""
+        self._frozen = True
+        return self
+
+    # -------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def index_of(self, name: str) -> int:
+        """Column index for ``name`` (KeyError if absent)."""
+        return self._index[name]
+
+    def spec(self, index: int) -> ColumnSpec:
+        return self.columns[index]
+
+    @property
+    def cell_sizes(self) -> Tuple[int, ...]:
+        """Byte size of each column, in order (feeds CellRegion)."""
+        return tuple(c.size for c in self.columns)
+
+    @property
+    def row_bytes(self) -> int:
+        """Total registered bytes per row."""
+        return sum(c.size for c in self.columns)
+
+    def initial_values(self) -> List[Any]:
+        """Fresh initial cell values for a new row."""
+        return [c.initial for c in self.columns]

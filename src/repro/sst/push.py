@@ -1,0 +1,74 @@
+"""Guarded multi-cell updates over the SST (paper §2.2).
+
+For state that spans multiple cells (lists of membership changes, trim
+vectors), the SST cannot rely on single-cell atomicity. Derecho's idiom:
+write the data, push it, then bump and push a *guard* counter in a
+second RDMA operation. The fabric's per-QP FIFO ordering (the RDMA
+memory-fence guarantee) ensures any reader that sees the new guard value
+also sees the new data.
+
+:class:`GuardedValue` packages the idiom; the membership/view-change
+protocol uses it for its change lists.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, Optional, Tuple
+
+from .fields import SSTLayout
+from .table import SST
+
+__all__ = ["GuardedValue"]
+
+
+class GuardedValue:
+    """A blob column published atomically via a guard counter column.
+
+    Writers call :meth:`publish` (a generator, ``yield from`` it inside
+    a simulated thread). Readers call :meth:`read`, which returns the
+    (version, value) pair for any row; version -1 means never published.
+    """
+
+    def __init__(self, sst: SST, data_col: int, guard_col: int):
+        self.sst = sst
+        self.data_col = data_col
+        self.guard_col = guard_col
+
+    @classmethod
+    def declare(
+        cls, layout: SSTLayout, name: str, size: int
+    ) -> Tuple[int, int]:
+        """Add the (data, guard) column pair to a layout being built.
+
+        Returns ``(data_col, guard_col)``; construct the GuardedValue
+        after the SST exists.
+        """
+        data_col = layout.blob(f"{name}.data", size)
+        guard_col = layout.counter(f"{name}.guard", initial=-1)
+        return data_col, guard_col
+
+    def publish(
+        self, value: Any, targets: Optional[Iterable[int]] = None
+    ) -> Generator[float, None, int]:
+        """Write + push data, then bump + push the guard (two writes).
+
+        Returns the new version number.
+        """
+        targets = list(targets) if targets is not None else None
+        self.sst.set(self.data_col, value)
+        yield from self.sst.push_col(self.data_col, targets)
+        version = self.sst.read_own(self.guard_col) + 1
+        self.sst.set(self.guard_col, version)
+        yield from self.sst.push_col(self.guard_col, targets)
+        return version
+
+    def read(self, owner: int) -> Tuple[int, Any]:
+        """Read (version, value) of a row. Safe without locks: if the
+        guard is visible, the matching data is too (fence guarantee)."""
+        version = self.sst.read(owner, self.guard_col)
+        value = self.sst.read(owner, self.data_col)
+        return version, value
+
+    def version(self, owner: int) -> int:
+        """Read just the guard counter for a row."""
+        return self.sst.read(owner, self.guard_col)

@@ -1,0 +1,27 @@
+"""Workloads: cluster builder, sender processes, experiment harness."""
+
+from .cluster import Cluster
+from .generators import continuous_sender, jittered_sender, limited_sender
+
+__all__ = [
+    "Cluster",
+    "continuous_sender",
+    "limited_sender",
+    "jittered_sender",
+]
+
+from .runner import (
+    ExperimentResult,
+    delayed_senders,
+    multi_subgroup,
+    sender_set,
+    single_subgroup,
+)
+
+__all__ += [
+    "ExperimentResult",
+    "single_subgroup",
+    "multi_subgroup",
+    "delayed_senders",
+    "sender_set",
+]

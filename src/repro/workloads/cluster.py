@@ -1,0 +1,260 @@
+"""Cluster builder: the user-facing entry point of the library.
+
+Assembles a simulated fabric, one :class:`~repro.core.group.GroupNode`
+per node, wires the SST replicas together, and offers helpers to spawn
+workload processes and collect the paper's metrics.
+
+    from repro import Cluster, SpindleConfig
+    from repro.workloads import continuous_sender
+
+    cluster = Cluster(num_nodes=4, config=SpindleConfig.optimized())
+    sg = cluster.add_subgroup(message_size=10240, window=100)
+    cluster.build()
+    for node in cluster.node_ids:
+        cluster.spawn_sender(continuous_sender(
+            cluster.mc(node, sg.subgroup_id), count=100, size=10240))
+    cluster.run()
+    print(cluster.aggregate_throughput(sg.subgroup_id))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.config import SpindleConfig, TimingModel
+from ..core.group import GroupNode
+from ..core.membership import SubgroupSpec, View
+from ..core.multicast import SubgroupMulticast
+from ..rdma.fabric import RdmaFabric
+from ..rdma.latency import LatencyModel
+from ..sim.engine import Simulator
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A simulated Derecho deployment.
+
+    Defaults mirror the paper's testbed: any number of nodes up to the
+    16-machine, 12.5 GB/s cluster used in §4.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        config: Optional[SpindleConfig] = None,
+        timing: Optional[TimingModel] = None,
+        latency: Optional[LatencyModel] = None,
+        seed: int = 0,
+    ):
+        if num_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        self.sim = Simulator(seed=seed)
+        self.fabric = RdmaFabric(self.sim, latency=latency)
+        self.config = config if config is not None else SpindleConfig.optimized()
+        self.timing = timing if timing is not None else TimingModel()
+        self.node_ids: List[int] = [
+            self.fabric.add_node().node_id for _ in range(num_nodes)
+        ]
+        self._specs: List[SubgroupSpec] = []
+        self.groups: Dict[int, GroupNode] = {}
+        self.view: Optional[View] = None
+        self._built = False
+        self._membership_params: Optional[tuple] = None
+
+    # ---------------------------------------------------------------- setup
+
+    def add_subgroup(
+        self,
+        members: Optional[Sequence[int]] = None,
+        senders: Optional[Sequence[int]] = None,
+        window: int = 100,
+        message_size: int = 10240,
+        delivery_mode: str = "atomic",
+        persistent: bool = False,
+    ) -> SubgroupSpec:
+        """Declare a subgroup (before :meth:`build`). Members default to
+        all nodes; senders default to all members."""
+        if self._built:
+            raise RuntimeError("cluster already built")
+        spec = SubgroupSpec.of(
+            subgroup_id=len(self._specs),
+            members=members if members is not None else self.node_ids,
+            senders=senders,
+            window=window,
+            message_size=message_size,
+            delivery_mode=delivery_mode,
+            persistent=persistent,
+        )
+        self._specs.append(spec)
+        return spec
+
+    def enable_membership(self, heartbeat_period: float = 100e-6,
+                          suspicion_timeout: float = 500e-6) -> None:
+        """Turn on failure detection + view changes (before build).
+
+        Off by default: the performance experiments measure failure-free
+        epochs, as the paper does."""
+        if self._built:
+            raise RuntimeError("cluster already built")
+        self._membership_params = (heartbeat_period, suspicion_timeout)
+
+    def build(self) -> "Cluster":
+        """Create the view, all GroupNodes, wire SSTs, start threads."""
+        if self._built:
+            raise RuntimeError("cluster already built")
+        if not self._specs:
+            raise RuntimeError("declare at least one subgroup first")
+        self.view = View(0, tuple(self.node_ids), tuple(self._specs))
+        self._install(self.view)
+        self._built = True
+        return self
+
+    def _install(self, view: View) -> None:
+        """Instantiate GroupNodes for a view and start them."""
+        from ..sst.table import wire_ssts
+
+        self.groups = {}
+        for node_id in view.members:
+            self.groups[node_id] = GroupNode(
+                self.sim,
+                self.fabric,
+                self.fabric.nodes[node_id],
+                view,
+                self.config,
+                self.timing,
+                membership_params=self._membership_params,
+            )
+        wire_ssts({nid: g.sst for nid, g in self.groups.items()})
+        for group in self.groups.values():
+            group.start()
+        self.view = view
+
+    def install_view(self, new_view: View) -> None:
+        """Epoch restart after a view change: tear down the old epoch's
+        protocol state and build the new view's (fresh SSTs, fresh
+        registration — §2.3: memory layout is fixed *per view*).
+
+        Durable logs live on each node's (simulated) SSD, so they
+        survive the restart: the new epoch's persistence engines are
+        seeded from the old epoch's logs.
+        """
+        old_logs = {}
+        for node_id, group in self.groups.items():
+            for sg_id, engine in group.persistence.items():
+                old_logs[(node_id, sg_id)] = (engine.log, engine.log_bytes)
+            group.teardown()
+        self._install(new_view)
+        for (node_id, sg_id), (log, log_bytes) in old_logs.items():
+            group = self.groups.get(node_id)
+            if group is not None and sg_id in group.persistence:
+                engine = group.persistence[sg_id]
+                engine.log = list(log)
+                engine.log_bytes = log_bytes
+
+    def fail_node(self, node_id: int) -> None:
+        """Crash-stop a node: NIC drops all its traffic, threads die."""
+        self.fabric.fail_node(node_id)
+        group = self.groups.get(node_id)
+        if group is not None:
+            group.kill()
+
+    def add_node(self) -> int:
+        """Provision a fresh machine (e.g. a joiner for the next view).
+
+        The node exists on the fabric but participates in no protocol
+        until a view that includes it is installed via
+        :meth:`install_view` (joins happen at epoch boundaries, §2.1).
+        """
+        node_id = self.fabric.add_node().node_id
+        self.node_ids.append(node_id)
+        return node_id
+
+    # -------------------------------------------------------------- running
+
+    def spawn_sender(self, generator, name: str = "sender"):
+        """Spawn a workload process (e.g. from repro.workloads.generators)."""
+        return self.sim.spawn(generator, name=name)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the simulation until quiescent (or ``until`` seconds)."""
+        return self.sim.run(until=until)
+
+    def run_to_quiescence(self, max_time: float = 5.0) -> float:
+        """Run until the system quiesces; raise if events are still
+        pending ``max_time`` simulated seconds from now (livelock
+        guard). ``max_time`` is relative, so multi-epoch scripts can
+        call this once per epoch."""
+        deadline = self.sim.now + max_time
+        self.sim.run(until=deadline)
+        pending = self.sim.peek()
+        if pending is not None:
+            raise RuntimeError(
+                f"not quiescent by {deadline}s (next event at {pending}s)"
+            )
+        return self.sim.now
+
+    def stop(self) -> None:
+        """Stop every node's polling thread (lets the event queue drain)."""
+        for group in self.groups.values():
+            group.stop()
+
+    # -------------------------------------------------------------- access
+
+    def group(self, node_id: int) -> GroupNode:
+        return self.groups[node_id]
+
+    def mc(self, node_id: int, subgroup_id: int) -> SubgroupMulticast:
+        """The multicast endpoint of a node in a subgroup."""
+        return self.groups[node_id].subgroup(subgroup_id)
+
+    def members_of(self, subgroup_id: int) -> Sequence[int]:
+        assert self.view is not None
+        return self.view.subgroups[subgroup_id].members
+
+    # -------------------------------------------------------------- metrics
+
+    def per_node_throughput(self, subgroup_id: int) -> Dict[int, float]:
+        """Delivered bytes/second at each member of a subgroup."""
+        return {
+            nid: self.groups[nid].stats(subgroup_id).throughput()
+            for nid in self.members_of(subgroup_id)
+        }
+
+    def aggregate_throughput(self, subgroup_id: int) -> float:
+        """Paper's throughput metric: delivered bytes/second averaged
+        over the subgroup's members."""
+        rates = self.per_node_throughput(subgroup_id)
+        return sum(rates.values()) / len(rates)
+
+    def node_throughput_all_subgroups(self, node_id: int) -> float:
+        """Total delivered bytes/second at one node across subgroups."""
+        return sum(
+            mc.stats.throughput()
+            for mc in self.groups[node_id].multicasts.values()
+        )
+
+    def mean_latency(self, subgroup_id: int) -> float:
+        """Mean queue-to-delivery latency over all members (seconds)."""
+        totals = [self.groups[nid].stats(subgroup_id)
+                  for nid in self.members_of(subgroup_id)]
+        count = sum(s.latency_count for s in totals)
+        if count == 0:
+            return 0.0
+        return sum(s.latency_sum for s in totals) / count
+
+    def total_delivered(self, subgroup_id: int) -> int:
+        """Total messages delivered across members (for assertions)."""
+        return sum(self.groups[nid].stats(subgroup_id).delivered
+                   for nid in self.members_of(subgroup_id))
+
+    def assert_all_delivered(self, subgroup_id: int, per_sender: int) -> None:
+        """Check every member delivered every sent message."""
+        spec = self.view.subgroups[subgroup_id]
+        expected = per_sender * len(spec.senders)
+        for nid in spec.members:
+            got = self.groups[nid].stats(subgroup_id).delivered
+            if got != expected:
+                raise AssertionError(
+                    f"node {nid} delivered {got}/{expected} in sg{subgroup_id}"
+                )

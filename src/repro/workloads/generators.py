@@ -1,0 +1,80 @@
+"""Workload generators: the sending patterns of the paper's evaluation.
+
+Each generator is a simulated-process generator to pass to
+``Cluster.spawn_sender``. They correspond to §4's scenarios:
+
+* :func:`continuous_sender` — tight-loop streaming (§4.1.1), optionally
+  with a fixed busy-wait delay after every send or every N-th send
+  (§4.2.1's 1 µs / 100 µs delayed senders).
+* :func:`limited_sender` — sends a burst then stops forever (§4.2.1's
+  "delayed indefinitely" senders).
+* :func:`jittered_sender` — random inter-send gaps, for robustness and
+  property tests (not a paper figure, but the "real setting, more varied
+  patterns" of §4.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.multicast import SubgroupMulticast
+
+__all__ = ["continuous_sender", "limited_sender", "jittered_sender"]
+
+PayloadFn = Callable[[int], Optional[bytes]]
+
+
+def continuous_sender(
+    mc: SubgroupMulticast,
+    count: int,
+    size: int,
+    payload_fn: Optional[PayloadFn] = None,
+    delay: float = 0.0,
+    delay_every: int = 1,
+    start_delay: float = 0.0,
+):
+    """Send ``count`` messages of ``size`` bytes as fast as possible.
+
+    ``delay`` adds a busy-wait after every ``delay_every``-th send (the
+    paper's delayed-sender experiment, §4.2.1). ``payload_fn(k)`` may
+    supply real bytes for content-checking tests; None sends
+    timing-only payloads.
+    """
+    if start_delay > 0:
+        yield start_delay
+    for k in range(count):
+        payload = payload_fn(k) if payload_fn is not None else None
+        yield from mc.send(size, payload)
+        if delay > 0 and (k + 1) % delay_every == 0:
+            yield delay  # busy-wait, as in the paper's delay loop
+    mc.mark_finished()
+
+
+def limited_sender(
+    mc: SubgroupMulticast,
+    count: int,
+    size: int,
+    payload_fn: Optional[PayloadFn] = None,
+):
+    """Send ``count`` messages then go silent forever ("delayed
+    indefinitely", §4.2.1). Equivalent to continuous_sender but named
+    for intent at call sites."""
+    yield from continuous_sender(mc, count, size, payload_fn)
+
+
+def jittered_sender(
+    mc: SubgroupMulticast,
+    count: int,
+    size: int,
+    rng,
+    max_gap: float,
+    payload_fn: Optional[PayloadFn] = None,
+):
+    """Send with uniformly random gaps in [0, max_gap] between sends."""
+    for k in range(count):
+        payload = payload_fn(k) if payload_fn is not None else None
+        yield from mc.send(size, payload)
+        gap = rng.random() * max_gap
+        if gap > 0:
+            yield gap
+    mc.mark_finished()

@@ -1,0 +1,225 @@
+"""Tests for the downstream applications: replicated KV store and
+replicated message queue."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import KvCommand, attach_queue, attach_store
+from repro.core.config import SpindleConfig
+from repro.workloads import Cluster
+
+
+def build_kv(n=3, window=8, config=None):
+    cluster = Cluster(n, config=config or SpindleConfig.optimized())
+    cluster.add_subgroup(message_size=512, window=window)
+    cluster.build()
+    stores = {nid: attach_store(cluster.group(nid), 0)
+              for nid in cluster.node_ids}
+    return cluster, stores
+
+
+class TestKvCommandCodec:
+    def test_roundtrip_all_fields(self):
+        data = KvCommand.encode(3, b"key", b"value!", b"expected")
+        assert KvCommand.decode(data) == (3, b"key", b"expected", b"value!")
+
+    def test_empty_fields(self):
+        data = KvCommand.encode(4)
+        assert KvCommand.decode(data) == (4, b"", b"", b"")
+
+    @given(op=st.integers(1, 4),
+           key=st.binary(max_size=64),
+           value=st.binary(max_size=200),
+           expected=st.binary(max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, op, key, value, expected):
+        data = KvCommand.encode(op, key, value, expected)
+        assert KvCommand.decode(data) == (op, key, expected, value)
+
+
+class TestKvStore:
+    def test_put_replicates_to_all(self):
+        cluster, stores = build_kv()
+
+        def writer():
+            ok = yield from stores[0].put(b"altitude", b"9500")
+            assert ok is True
+
+        cluster.spawn_sender(writer())
+        cluster.run_to_quiescence()
+        for store in stores.values():
+            assert store.read(b"altitude") == b"9500"
+
+    def test_delete_returns_existence(self):
+        cluster, stores = build_kv()
+        results = {}
+
+        def actions():
+            yield from stores[0].put(b"k", b"v")
+            results["first"] = yield from stores[0].delete(b"k")
+            results["second"] = yield from stores[0].delete(b"k")
+
+        cluster.spawn_sender(actions())
+        cluster.run_to_quiescence()
+        assert results == {"first": True, "second": False}
+        assert all(s.read(b"k") is None for s in stores.values())
+
+    def test_concurrent_writers_converge(self):
+        """Concurrent PUTs to the same key: the total order decides, and
+        every replica agrees on the winner."""
+        cluster, stores = build_kv(n=4)
+        for nid in cluster.node_ids:
+            def writer(nid=nid):
+                for k in range(10):
+                    yield from stores[nid].put(b"shared", b"v%d-%d" % (nid, k))
+            cluster.spawn_sender(writer())
+        cluster.run_to_quiescence()
+        values = {s.read(b"shared") for s in stores.values()}
+        assert len(values) == 1
+        checksums = {s.checksum() for s in stores.values()}
+        assert len(checksums) == 1
+
+    def test_cas_exactly_one_winner(self):
+        """All nodes CAS from the same expected value: the delivery
+        order guarantees exactly one succeeds."""
+        cluster, stores = build_kv(n=4)
+        outcomes = {}
+
+        def seed():
+            yield from stores[0].put(b"lock", b"free")
+
+        cluster.spawn_sender(seed())
+        cluster.run_to_quiescence()
+
+        for nid in cluster.node_ids:
+            def contender(nid=nid):
+                won = yield from stores[nid].cas(
+                    b"lock", b"free", b"owner-%d" % nid)
+                outcomes[nid] = won
+            cluster.spawn_sender(contender())
+        cluster.run_to_quiescence()
+        assert sum(outcomes.values()) == 1
+        winner = next(nid for nid, won in outcomes.items() if won)
+        for store in stores.values():
+            assert store.read(b"lock") == b"owner-%d" % winner
+
+    def test_sync_read_sees_preceding_write(self):
+        """Linearizability: a fenced read after a completed write must
+        observe it, from any replica."""
+        cluster, stores = build_kv(n=3)
+        observed = {}
+
+        def writer_then_reader():
+            yield from stores[0].put(b"x", b"1")
+            # Read from a *different* replica, linearizably.
+            value = yield from stores[1].sync_read(b"x")
+            observed["value"] = value
+
+        cluster.spawn_sender(writer_then_reader())
+        cluster.run_to_quiescence()
+        assert observed["value"] == b"1"
+
+    def test_apply_order_identical(self):
+        cluster, stores = build_kv(n=3)
+        for nid in cluster.node_ids:
+            def writer(nid=nid):
+                for k in range(8):
+                    yield from stores[nid].put(b"k%d-%d" % (nid, k), b"v")
+            cluster.spawn_sender(writer())
+        cluster.run_to_quiescence()
+        logs = [s.apply_log for s in stores.values()]
+        assert all(log == logs[0] for log in logs)
+
+    def test_read_only_replica_cannot_write(self):
+        cluster = Cluster(3, config=SpindleConfig.optimized())
+        cluster.add_subgroup(message_size=256, window=4, senders=[0, 1])
+        cluster.build()
+        store = attach_store(cluster.group(2), 0)
+        with pytest.raises(RuntimeError, match="read-only"):
+            gen = store.put(b"k", b"v")
+            cluster.spawn_sender(gen)
+            cluster.run_to_quiescence()
+
+    def test_requires_atomic_mode(self):
+        cluster = Cluster(2, config=SpindleConfig.optimized())
+        cluster.add_subgroup(message_size=256, window=4,
+                             delivery_mode="unordered")
+        cluster.build()
+        with pytest.raises(ValueError, match="atomic delivery"):
+            attach_store(cluster.group(0), 0)
+
+
+class TestReplicatedQueue:
+    def build(self, n=3, workers=2):
+        cluster = Cluster(n, config=SpindleConfig.optimized())
+        cluster.add_subgroup(message_size=256, window=8)
+        cluster.build()
+        queues = {nid: attach_queue(cluster.group(nid), 0,
+                                    num_workers=workers)
+                  for nid in cluster.node_ids}
+        return cluster, queues
+
+    def test_entries_visible_on_all_replicas(self):
+        cluster, queues = self.build()
+
+        def producer():
+            for k in range(10):
+                yield from queues[0].enqueue(b"job-%d" % k)
+
+        cluster.spawn_sender(producer())
+        cluster.run_to_quiescence()
+        for queue in queues.values():
+            assert queue.enqueued_total == 10
+
+    def test_deterministic_assignment_across_replicas(self):
+        cluster, queues = self.build(workers=3)
+        for nid in cluster.node_ids:
+            def producer(nid=nid):
+                for k in range(9):
+                    yield from queues[nid].enqueue(b"%d:%d" % (nid, k))
+            cluster.spawn_sender(producer())
+        cluster.run_to_quiescence()
+        for worker in range(3):
+            takes = [q.take(worker) for q in queues.values()]
+            assert all(t == takes[0] for t in takes)
+            assert all(idx % 3 == worker for idx, _, _ in takes[0])
+
+    def test_fifo_per_producer(self):
+        cluster, queues = self.build(workers=1)
+        for nid in cluster.node_ids:
+            def producer(nid=nid):
+                for k in range(12):
+                    yield from queues[nid].enqueue(b"%d:%d" % (nid, k))
+            cluster.spawn_sender(producer())
+        cluster.run_to_quiescence()
+        entries = queues[1].take(0)
+        for nid in cluster.node_ids:
+            mine = [p for _, s, p in entries if s == nid]
+            assert mine == [b"%d:%d" % (nid, k) for k in range(12)]
+
+    def test_take_limit_and_backlog(self):
+        cluster, queues = self.build(workers=1)
+
+        def producer():
+            for k in range(10):
+                yield from queues[0].enqueue(b"j%d" % k)
+
+        cluster.spawn_sender(producer())
+        cluster.run_to_quiescence()
+        queue = queues[2]
+        assert queue.backlog() == 10
+        first = queue.take(0, limit=4)
+        assert len(first) == 4
+        assert queue.backlog(0) == 6
+        assert queue.take(0)[0][2] == b"j4"
+
+    def test_validation(self):
+        cluster, queues = self.build()
+        with pytest.raises(IndexError):
+            queues[0].take(5)
+        cluster2 = Cluster(2)
+        cluster2.add_subgroup(message_size=128, window=4,
+                              delivery_mode="unordered")
+        cluster2.build()
+        with pytest.raises(ValueError, match="atomic"):
+            attach_queue(cluster2.group(0), 0)

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestCli:
+    def test_single_prints_metrics(self, capsys):
+        code, out = run_cli(capsys, "single", "--nodes", "3", "--count", "30",
+                            "--size", "1024")
+        assert code == 0
+        assert "throughput (GB/s)" in out
+        assert "RDMA writes" in out
+
+    def test_single_baseline_config(self, capsys):
+        code, out = run_cli(capsys, "single", "--nodes", "2", "--count", "20",
+                            "--config", "baseline", "--size", "512")
+        assert code == 0
+        assert "mean batches s/r/d" in out
+
+    def test_multi_subgroups(self, capsys):
+        code, out = run_cli(capsys, "multi", "--nodes", "3",
+                            "--subgroups", "3", "--count", "20",
+                            "--size", "512")
+        assert code == 0
+        assert "throughput (GB/s)" in out
+
+    def test_delayed_reports_interdelivery(self, capsys):
+        code, out = run_cli(capsys, "delayed", "--nodes", "4",
+                            "--delayed", "1", "--delay-us", "50",
+                            "--count", "40", "--size", "1024",
+                            "--config", "nulls")
+        assert code == 0
+        assert "interdelivery" in out
+
+    def test_rdmc_lists_all_schemes(self, capsys):
+        code, out = run_cli(capsys, "rdmc", "--nodes", "4",
+                            "--size", str(1 << 20))
+        assert code == 0
+        for scheme in ("sequential", "binomial", "binomial_pipeline"):
+            assert scheme in out
+
+    def test_compare_lists_all_configs(self, capsys):
+        code, out = run_cli(capsys, "compare", "--nodes", "2",
+                            "--count", "30", "--size", "512")
+        assert code == 0
+        for config in ("baseline", "batching", "nulls", "optimized"):
+            assert config in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_config(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["single", "--config", "warp-speed"])

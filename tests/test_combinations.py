@@ -1,0 +1,144 @@
+"""Cross-feature integration tests: mixed delivery modes, persistence
+alongside plain subgroups, stacked config options."""
+
+import pytest
+
+from repro.core.config import SpindleConfig
+from repro.dds import (
+    DdsDomain,
+    ExternalClient,
+    QosLevel,
+    QosProfile,
+    TCP_TRANSPORT,
+)
+from repro.workloads import Cluster, continuous_sender
+
+
+class TestMixedSubgroupModes:
+    def test_atomic_unordered_and_persistent_side_by_side(self):
+        cluster = Cluster(3, config=SpindleConfig.optimized())
+        cluster.add_subgroup(message_size=256, window=6)                  # sg0 atomic
+        cluster.add_subgroup(message_size=256, window=6,
+                             delivery_mode="unordered")                   # sg1
+        cluster.add_subgroup(message_size=256, window=6, persistent=True)  # sg2
+        cluster.build()
+        for sg in range(3):
+            for nid in cluster.node_ids:
+                cluster.spawn_sender(continuous_sender(
+                    cluster.mc(nid, sg), count=15, size=256))
+        cluster.run_to_quiescence(max_time=30.0)
+        for sg in range(3):
+            cluster.assert_all_delivered(sg, per_sender=15)
+        # Persistence wired for sg2 only.
+        assert list(cluster.group(0).persistence) == [2]
+        assert len(cluster.group(0).persistence[2].log) == 45
+
+    def test_unordered_subgroup_sends_no_nulls(self):
+        """Null-sends are an ordering mechanism; unordered mode must not
+        emit them even when the config enables them."""
+        cluster = Cluster(3, config=SpindleConfig.optimized())
+        cluster.add_subgroup(message_size=256, window=6,
+                             delivery_mode="unordered")
+        cluster.build()
+        # Only node 0 sends: in atomic mode this would demand nulls.
+        cluster.spawn_sender(continuous_sender(
+            cluster.mc(0, 0), count=25, size=256))
+        cluster.run_to_quiescence()
+        for nid in cluster.node_ids:
+            assert cluster.group(nid).stats(0).nulls_sent == 0
+            assert cluster.group(nid).stats(0).delivered == 25
+
+    def test_all_options_stacked(self):
+        """Everything at once: batching + nulls + early release +
+        batched upcalls + both memcpy modes, on a persistent subgroup."""
+        config = SpindleConfig.optimized().with_(
+            batched_upcall=True, copy_on_send=True, copy_on_delivery=True)
+        cluster = Cluster(4, config=config)
+        cluster.add_subgroup(message_size=1024, window=8, persistent=True)
+        cluster.build()
+        logs = {nid: [] for nid in cluster.node_ids}
+        for nid in cluster.node_ids:
+            cluster.group(nid).on_delivery(
+                0, lambda d, nid=nid: logs[nid].append((d.seq, d.payload)))
+            cluster.spawn_sender(continuous_sender(
+                cluster.mc(nid, 0), count=20, size=1024,
+                payload_fn=lambda k, nid=nid: b"%d/%d" % (nid, k)))
+        cluster.run_to_quiescence(max_time=30.0)
+        reference = logs[0]
+        assert len(reference) == 80
+        assert all(logs[nid] == reference for nid in cluster.node_ids)
+        durable = cluster.group(0).persistence[0]
+        assert len(durable.log) == 80
+
+
+class TestDdsCombinations:
+    def test_external_client_on_logged_topic(self):
+        """Relayed publishes land in every subscriber's SSD log."""
+        domain = DdsDomain(3, config=SpindleConfig.optimized())
+        topic = domain.create_topic(
+            "blackbox", publishers=[0], subscribers=[1, 2],
+            qos=QosProfile(QosLevel.LOGGED), message_size=256, window=8)
+        domain.build()
+        domain.participant(1).create_reader(topic)
+        domain.participant(2).create_reader(topic)
+        client = ExternalClient(domain, relay_node=0,
+                                transport=TCP_TRANSPORT)
+        domain.spawn(client.publisher(
+            topic, [b"entry-%02d" % k for k in range(10)]))
+        domain.run_to_quiescence()
+        for nid in (1, 2):
+            log = domain.ssd_log(nid)
+            assert [d for _, d in log.replay(topic.topic_id)] == [
+                b"entry-%02d" % k for k in range(10)]
+
+    def test_mixed_qos_topics_one_domain(self):
+        domain = DdsDomain(4, config=SpindleConfig.optimized())
+        topics = {
+            level: domain.create_topic(
+                level.name.lower(), publishers=[0],
+                subscribers=[1, 2, 3], qos=QosProfile(level),
+                message_size=256, window=8)
+            for level in QosLevel
+        }
+        domain.build()
+        readers = {
+            level: domain.participant(1).create_reader(topic)
+            for level, topic in topics.items()
+        }
+        for level, topic in topics.items():
+            writer = domain.participant(0).create_writer(topic)
+
+            def pub(writer=writer, level=level):
+                for k in range(8):
+                    yield from writer.write(b"%s-%d" % (
+                        level.name.encode(), k))
+                writer.finish()
+
+            domain.spawn(pub())
+        domain.run_to_quiescence(max_time=30.0)
+        for level, reader in readers.items():
+            assert reader.received == 8, level
+
+    def test_baseline_dds_still_correct(self):
+        """The pre-Spindle configuration is slow, not wrong."""
+        domain = DdsDomain(3, config=SpindleConfig.baseline())
+        topic = domain.create_topic(
+            "t", publishers=[0, 1], subscribers=[2],
+            qos=QosProfile(QosLevel.ATOMIC), message_size=128, window=6)
+        domain.build()
+        got = []
+        domain.participant(2).create_reader(
+            topic, listener=lambda s: got.append((s.seq, s.value)))
+        for p in (0, 1):
+            writer = domain.participant(p).create_writer(topic)
+
+            def pub(writer=writer, p=p):
+                for k in range(10):
+                    yield from writer.write(b"%d:%d" % (p, k))
+                writer.finish()
+
+            domain.spawn(pub())
+        domain.run_to_quiescence(max_time=30.0)
+        assert len(got) == 20
+        seqs = [s for s, _ in got]
+        assert seqs == sorted(seqs)

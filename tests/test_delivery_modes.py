@@ -1,0 +1,122 @@
+"""Tests for delivery-path behaviour: upcall delays (§3.5), batched
+upcalls, and the memcpy send/delivery modes (§3.1, §4.4)."""
+
+import pytest
+
+from repro.core.config import SpindleConfig, TimingModel
+from repro.sim.units import ms, us
+from repro.workloads import Cluster, continuous_sender
+
+
+def throughput(config, timing=None, n=4, count=80, size=10240, window=50):
+    cluster = Cluster(num_nodes=n, config=config, timing=timing)
+    cluster.add_subgroup(message_size=size, window=window)
+    cluster.build()
+    for nid in cluster.node_ids:
+        cluster.spawn_sender(continuous_sender(
+            cluster.mc(nid, 0), count=count, size=size))
+    cluster.run_to_quiescence(max_time=30.0)
+    cluster.assert_all_delivered(0, per_sender=count)
+    return cluster.aggregate_throughput(0)
+
+
+class TestUpcallDelays:
+    """§3.5: the predicate thread delivers in the critical path, so slow
+    upcalls throttle the whole pipeline."""
+
+    def test_slow_upcalls_degrade_throughput_progressively(self):
+        base = throughput(SpindleConfig.optimized(),
+                          TimingModel(delivery_upcall=us(1)), count=60)
+        slow = throughput(SpindleConfig.optimized(),
+                          TimingModel(delivery_upcall=us(100)), count=30)
+        assert slow < 0.35 * base  # paper: ~90 % loss at 100 µs
+
+    def test_1ms_upcall_degenerates_to_one_message_per_delay(self):
+        """Paper: for large delays, performance degenerates to one
+        message delivered per delay time."""
+        n, count, size = 3, 12, 10240
+        cluster = Cluster(num_nodes=n, config=SpindleConfig.optimized(),
+                          timing=TimingModel(delivery_upcall=ms(1)))
+        cluster.add_subgroup(message_size=size, window=20)
+        cluster.build()
+        for nid in cluster.node_ids:
+            cluster.spawn_sender(continuous_sender(
+                cluster.mc(nid, 0), count=count, size=size))
+        cluster.run_to_quiescence(max_time=60.0)
+        stats = cluster.group(0).stats(0)
+        span = stats.last_delivery_time - stats.first_delivery_time
+        rate = (stats.delivered - 1) / span  # messages per second
+        assert rate == pytest.approx(1000.0, rel=0.2)
+
+    def test_batched_upcall_mitigates_slow_processing(self):
+        """§3.5 option 1: if a batch costs base + small per-message, the
+        pipeline recovers most of the loss."""
+        timing = TimingModel(delivery_upcall=us(20),
+                             batched_upcall_base=us(20),
+                             batched_upcall_per_message=us(0.5))
+        per_message = throughput(SpindleConfig.optimized(), timing, count=40)
+        batched = throughput(
+            SpindleConfig.optimized().with_(batched_upcall=True), timing,
+            count=40)
+        assert batched > 1.5 * per_message
+
+
+class TestMemcpyModel:
+    def test_latency_flat_for_small_sizes(self):
+        """Fig. 14: memcpy latency remains low up to a few KB."""
+        t = TimingModel()
+        assert t.memcpy_time(10 * 1024) < us(1)
+        assert t.memcpy_time(1024) / t.memcpy_time(1) < 2.0
+
+    def test_latency_deteriorates_past_cache_boundary(self):
+        t = TimingModel()
+        small_bw = t.memcpy_bandwidth(64 * 1024)
+        large_bw = t.memcpy_bandwidth(16 * 1024 * 1024)
+        assert large_bw < 0.5 * small_bw
+
+    def test_bandwidth_monotone_regions(self):
+        t = TimingModel()
+        sizes = [2 ** k for k in range(6, 25)]
+        times = [t.memcpy_time(s) for s in sizes]
+        assert times == sorted(times)
+
+
+class TestMemcpyPipeline:
+    def test_copy_modes_reduce_throughput_moderately(self):
+        """§4.4 / Fig. 15: with memcpy on both paths, 10 KB throughput
+        declines but stays within ~25 % of the in-place result."""
+        in_place = throughput(SpindleConfig.optimized(), count=60)
+        copying = throughput(
+            SpindleConfig.optimized().with_(copy_on_send=True,
+                                            copy_on_delivery=True),
+            count=60)
+        assert copying < in_place
+        assert copying > 0.6 * in_place
+
+    def test_tiny_messages_unaffected_by_memcpy(self):
+        """§4.4: for 1 B messages the copies are negligible."""
+        in_place = throughput(SpindleConfig.optimized(), size=1, count=60)
+        copying = throughput(
+            SpindleConfig.optimized().with_(copy_on_send=True,
+                                            copy_on_delivery=True),
+            size=1, count=60)
+        assert copying > 0.9 * in_place
+
+    def test_copy_modes_preserve_correctness(self):
+        config = SpindleConfig.optimized().with_(copy_on_send=True,
+                                                 copy_on_delivery=True)
+        cluster = Cluster(num_nodes=3, config=config)
+        cluster.add_subgroup(message_size=1024, window=10)
+        cluster.build()
+        log = {n: [] for n in cluster.node_ids}
+        for n in cluster.node_ids:
+            cluster.group(n).on_delivery(
+                0, lambda d, n=n: log[n].append((d.seq, d.sender, d.payload)))
+        for n in cluster.node_ids:
+            cluster.spawn_sender(continuous_sender(
+                cluster.mc(n, 0), count=25, size=1024,
+                payload_fn=lambda k, n=n: b"%d:%d" % (n, k)))
+        cluster.run_to_quiescence()
+        logs = list(log.values())
+        assert all(l == logs[0] for l in logs)
+        assert len(logs[0]) == 75

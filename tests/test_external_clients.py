@@ -1,0 +1,144 @@
+"""Tests for external DDS clients (relayed publish/subscribe, §4.6)."""
+
+import pytest
+
+from repro.core.config import SpindleConfig
+from repro.dds import (
+    DdsDomain,
+    ExternalClient,
+    QosLevel,
+    QosProfile,
+    RDMA_TRANSPORT,
+    TCP_TRANSPORT,
+)
+
+
+def build_domain(n=4, qos=None):
+    domain = DdsDomain(n, config=SpindleConfig.optimized())
+    topic = domain.create_topic(
+        "relay-topic", publishers=[0], subscribers=list(range(1, n)),
+        qos=qos if qos is not None else QosProfile(QosLevel.ATOMIC),
+        message_size=1024, window=16)
+    domain.build()
+    return domain, topic
+
+
+class TestPublishThroughRelay:
+    @pytest.mark.parametrize("transport", [TCP_TRANSPORT, RDMA_TRANSPORT])
+    def test_client_samples_reach_all_subscribers(self, transport):
+        domain, topic = build_domain()
+        seen = {n: [] for n in (1, 2, 3)}
+        for n in seen:
+            domain.participant(n).create_reader(
+                topic, listener=lambda s, n=n: seen[n].append(s.value))
+        client = ExternalClient(domain, relay_node=0, transport=transport)
+        samples = [b"ext-%02d" % k for k in range(20)]
+        domain.spawn(client.publisher(topic, samples))
+        domain.run_to_quiescence()
+        for n in seen:
+            assert seen[n] == samples
+        assert client.published == client.relayed == 20
+
+    def test_relayed_samples_totally_ordered_with_native(self):
+        """Client publishes interleave with the relay's own publishes in
+        one total order, identical at every subscriber."""
+        domain, topic = build_domain()
+        logs = {n: [] for n in (1, 2, 3)}
+        for n in logs:
+            domain.participant(n).create_reader(
+                topic, listener=lambda s, n=n: logs[n].append((s.seq, s.value)))
+        client = ExternalClient(domain, relay_node=0)
+        domain.spawn(client.publisher(
+            topic, [b"ext-%02d" % k for k in range(15)]))
+        writer = domain.participant(0).create_writer(topic)
+
+        def native():
+            for k in range(15):
+                yield from writer.write(b"nat-%02d" % k)
+
+        domain.spawn(native())
+        domain.run_to_quiescence()
+        assert logs[1] == logs[2] == logs[3]
+        assert len(logs[1]) == 30
+
+    def test_tcp_slower_than_rdma_transport(self):
+        def completion_time(transport):
+            domain, topic = build_domain()
+            reader = domain.participant(1).create_reader(topic)
+            client = ExternalClient(domain, relay_node=0, transport=transport)
+            domain.spawn(client.publisher(
+                topic, [b"x" * 1024 for _ in range(50)]))
+            domain.run_to_quiescence()
+            assert reader.received == 50
+            stats = domain.cluster.group(1).stats(
+                domain.subgroup_of(topic))
+            return stats.last_delivery_time
+
+        assert completion_time(RDMA_TRANSPORT) < completion_time(TCP_TRANSPORT)
+
+    def test_unknown_relay_rejected(self):
+        domain, topic = build_domain()
+        with pytest.raises(ValueError, match="unknown relay node"):
+            ExternalClient(domain, relay_node=99)
+
+
+class TestSubscribeThroughRelay:
+    def test_client_receives_forwarded_samples(self):
+        domain, topic = build_domain()
+        client = ExternalClient(domain, relay_node=1)
+        got = []
+        client.subscribe(topic, listener=lambda s: got.append(s.value))
+        writer = domain.participant(0).create_writer(topic)
+
+        def pub():
+            for k in range(12):
+                yield from writer.write(b"s%02d" % k)
+            writer.finish()
+
+        domain.spawn(pub())
+        domain.run_to_quiescence()
+        assert [v for v in got] == [b"s%02d" % k for k in range(12)]
+        assert len(client.received) == 12
+
+    def test_client_sample_latency_includes_transport(self):
+        """The forwarded sample arrives at the client strictly after the
+        relay delivered it."""
+        domain, topic = build_domain()
+        client = ExternalClient(domain, relay_node=1,
+                                transport=TCP_TRANSPORT)
+        arrival = {}
+        client.subscribe(topic,
+                         listener=lambda s: arrival.setdefault(
+                             "client", domain.sim.now))
+        relay_time = {}
+        domain.participant(2).create_reader(
+            topic, listener=lambda s: relay_time.setdefault(
+                "relay", domain.sim.now))
+        writer = domain.participant(0).create_writer(topic)
+
+        def pub():
+            yield from writer.write(b"only-one")
+            writer.finish()
+
+        domain.spawn(pub())
+        domain.run_to_quiescence()
+        assert arrival["client"] > relay_time["relay"] + TCP_TRANSPORT.latency / 2
+
+    def test_full_loop_external_to_external(self):
+        """Client A publishes through relay 0; client B subscribes
+        through relay 2 — the full relayed round trip."""
+        domain, topic = build_domain()
+        publisher = ExternalClient(domain, relay_node=0, name="pub-client")
+        subscriber = ExternalClient(domain, relay_node=2, name="sub-client")
+        subscriber.subscribe(topic)
+        domain.spawn(publisher.publisher(
+            topic, [b"loop-%d" % k for k in range(8)]))
+        domain.run_to_quiescence()
+        assert [s.value for s in subscriber.received] == [
+            b"loop-%d" % k for k in range(8)]
+
+    def test_close_stops_relay(self):
+        domain, topic = build_domain()
+        client = ExternalClient(domain, relay_node=0)
+        client.close()
+        assert not client._relay_proc.alive

@@ -1,0 +1,86 @@
+"""Property-based failure injection: virtual synchrony invariants hold
+for randomized crash times, victims and workloads."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import SpindleConfig
+from repro.sim.units import ms, us
+from repro.workloads import Cluster, continuous_sender
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n=st.integers(3, 5),
+    victim_idx=st.integers(0, 4),
+    crash_at_us=st.integers(200, 3000),
+    count=st.integers(50, 250),
+    window=st.integers(4, 10),
+)
+def test_crash_atomicity_property(n, victim_idx, crash_at_us, count, window):
+    """For any crash time/victim: survivors install the same successor
+    view and deliver identical message sequences (failure atomicity)."""
+    victim = victim_idx % n
+    cluster = Cluster(n, config=SpindleConfig.optimized())
+    cluster.add_subgroup(message_size=256, window=window)
+    cluster.enable_membership(heartbeat_period=us(100),
+                              suspicion_timeout=us(500))
+    cluster.build()
+    views = {nid: [] for nid in cluster.node_ids}
+    logs = {nid: [] for nid in cluster.node_ids}
+    for nid in cluster.node_ids:
+        cluster.group(nid).membership.on_new_view.append(
+            lambda v, nid=nid: views[nid].append(v))
+        cluster.group(nid).on_delivery(
+            0, lambda d, nid=nid: logs[nid].append((d.seq, d.sender)))
+    for nid in cluster.node_ids:
+        cluster.spawn_sender(continuous_sender(
+            cluster.mc(nid, 0), count=count, size=256))
+    cluster.sim.call_after(us(crash_at_us), cluster.fail_node, victim)
+    cluster.run(until=ms(120))
+
+    survivors = [nid for nid in cluster.node_ids if nid != victim]
+    # Every survivor installed the same successor view...
+    final_views = [views[nid][-1] for nid in survivors]
+    assert all(views[nid] for nid in survivors)
+    assert all(v.members == final_views[0].members for v in final_views)
+    assert victim not in final_views[0].members
+    # ...and delivered exactly the same sequence.
+    reference = logs[survivors[0]]
+    assert all(logs[nid] == reference for nid in survivors)
+    # Sequence numbers strictly increase (no duplicates, no reordering).
+    seqs = [s for s, _ in reference]
+    assert seqs == sorted(set(seqs))
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    crash_at_us=st.integers(300, 2000),
+    count=st.integers(80, 200),
+)
+def test_leader_crash_property(crash_at_us, count):
+    """Crashing the leader (node 0) at arbitrary points still converges
+    to a consistent successor view led by node 1."""
+    cluster = Cluster(4, config=SpindleConfig.optimized())
+    cluster.add_subgroup(message_size=256, window=6)
+    cluster.enable_membership(heartbeat_period=us(100),
+                              suspicion_timeout=us(500))
+    cluster.build()
+    views = {nid: [] for nid in (1, 2, 3)}
+    logs = {nid: [] for nid in (1, 2, 3)}
+    for nid in (1, 2, 3):
+        cluster.group(nid).membership.on_new_view.append(
+            lambda v, nid=nid: views[nid].append(v))
+        cluster.group(nid).on_delivery(
+            0, lambda d, nid=nid: logs[nid].append((d.seq, d.sender)))
+    for nid in cluster.node_ids:
+        cluster.spawn_sender(continuous_sender(
+            cluster.mc(nid, 0), count=count, size=256))
+    cluster.sim.call_after(us(crash_at_us), cluster.fail_node, 0)
+    cluster.run(until=ms(120))
+    for nid in (1, 2, 3):
+        assert views[nid], f"survivor {nid} saw no view change"
+        assert views[nid][-1].members == (1, 2, 3)
+        assert views[nid][-1].leader == 1
+    assert logs[1] == logs[2] == logs[3]

@@ -1,0 +1,110 @@
+"""Tests for node joins at epoch boundaries (§2.1)."""
+
+import pytest
+
+from repro.core.config import SpindleConfig
+from repro.core.membership import SubgroupSpec, View
+from repro.workloads import Cluster, continuous_sender
+
+
+class TestViewWithJoined:
+    def make_view(self):
+        return View(0, (0, 1, 2), (SubgroupSpec.of(0, [0, 1, 2]),
+                                   SubgroupSpec.of(1, [0, 1])))
+
+    def test_joiner_appended_to_membership(self):
+        view = self.make_view().with_joined([5])
+        assert view.members == (0, 1, 2, 5)
+        assert view.view_id == 1
+        assert view.joined == (5,)
+
+    def test_joiner_added_to_all_subgroups_by_default(self):
+        view = self.make_view().with_joined([5])
+        assert all(5 in sg.members for sg in view.subgroups)
+        assert all(5 in sg.senders for sg in view.subgroups)
+
+    def test_join_specific_subgroups_only(self):
+        view = self.make_view().with_joined([5], subgroups_to_join=[1])
+        assert 5 not in view.subgroups[0].members
+        assert 5 in view.subgroups[1].members
+
+    def test_join_as_receiver_only(self):
+        view = self.make_view().with_joined([5], as_senders=False)
+        assert all(5 in sg.members for sg in view.subgroups)
+        assert all(5 not in sg.senders for sg in view.subgroups)
+
+    def test_existing_ranks_preserved(self):
+        view = self.make_view().with_joined([5])
+        assert view.subgroups[0].senders[:3] == (0, 1, 2)
+        assert view.subgroups[0].rank_of(5) == 3
+
+    def test_duplicate_or_existing_joiners_rejected(self):
+        with pytest.raises(ValueError, match="already members"):
+            self.make_view().with_joined([1])
+        with pytest.raises(ValueError, match="duplicate"):
+            self.make_view().with_joined([5, 5])
+
+
+class TestJoinEndToEnd:
+    def test_joiner_participates_in_next_epoch(self):
+        """Run an epoch with 3 nodes, add a 4th at the boundary, run a
+        second epoch where the joiner both receives and sends."""
+        cluster = Cluster(3, config=SpindleConfig.optimized())
+        cluster.add_subgroup(message_size=512, window=8)
+        cluster.build()
+        for nid in (0, 1, 2):
+            cluster.spawn_sender(continuous_sender(
+                cluster.mc(nid, 0), count=20, size=512))
+        cluster.run_to_quiescence()
+        cluster.assert_all_delivered(0, per_sender=20)
+
+        joiner = cluster.add_node()
+        new_view = cluster.view.with_joined([joiner])
+        cluster.install_view(new_view)
+
+        logs = {nid: [] for nid in new_view.members}
+        for nid in new_view.members:
+            cluster.group(nid).on_delivery(
+                0, lambda d, nid=nid: logs[nid].append((d.seq, d.sender)))
+        for nid in new_view.members:
+            cluster.spawn_sender(continuous_sender(
+                cluster.mc(nid, 0), count=15, size=512))
+        cluster.run_to_quiescence()
+
+        reference = logs[joiner]
+        assert len(reference) == 4 * 15
+        assert all(logs[nid] == reference for nid in new_view.members)
+        assert any(sender == joiner for _, sender in reference)
+
+    def test_joiner_not_addressable_before_install(self):
+        cluster = Cluster(2, config=SpindleConfig.optimized())
+        cluster.add_subgroup(message_size=256, window=4)
+        cluster.build()
+        joiner = cluster.add_node()
+        with pytest.raises(KeyError):
+            cluster.mc(joiner, 0)
+
+    def test_join_after_failure_recovery(self):
+        """A failed node is replaced by a fresh one in the next view."""
+        from repro.sim.units import ms, us
+
+        cluster = Cluster(3, config=SpindleConfig.optimized())
+        cluster.add_subgroup(message_size=256, window=6)
+        cluster.enable_membership(heartbeat_period=us(100),
+                                  suspicion_timeout=us(500))
+        cluster.build()
+        views = []
+        cluster.group(0).membership.on_new_view.append(views.append)
+        cluster.sim.call_after(ms(1), cluster.fail_node, 2)
+        cluster.run(until=ms(30))
+        assert views and views[0].members == (0, 1)
+
+        replacement = cluster.add_node()
+        next_view = views[0].with_joined([replacement])
+        cluster.install_view(next_view)
+        for nid in next_view.members:
+            cluster.spawn_sender(continuous_sender(
+                cluster.mc(nid, 0), count=10, size=256))
+        cluster.run(until=ms(60))
+        for nid in next_view.members:
+            assert cluster.group(nid).stats(0).delivered == 30

@@ -1,0 +1,99 @@
+"""Unit tests for the membership model (views, subgroup specs)."""
+
+import pytest
+
+from repro.core.membership import SubgroupSpec, View
+
+
+class TestSubgroupSpec:
+    def test_senders_default_to_members(self):
+        spec = SubgroupSpec.of(0, [3, 1, 2])
+        assert spec.senders == (3, 1, 2)
+
+    def test_rank_follows_sender_order(self):
+        spec = SubgroupSpec.of(0, [1, 2, 3], senders=[3, 1])
+        assert spec.rank_of(3) == 0
+        assert spec.rank_of(1) == 1
+        assert spec.rank_of(2) is None
+
+    def test_senders_must_be_members(self):
+        with pytest.raises(ValueError, match="not subgroup members"):
+            SubgroupSpec.of(0, [1, 2], senders=[9])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            SubgroupSpec.of(0, [1, 1, 2])
+        with pytest.raises(ValueError):
+            SubgroupSpec.of(0, [1, 2], senders=[1, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SubgroupSpec(0, (), (), 10, 100)
+
+    def test_bad_window_and_size(self):
+        with pytest.raises(ValueError):
+            SubgroupSpec.of(0, [1], window=0)
+        with pytest.raises(ValueError):
+            SubgroupSpec.of(0, [1], message_size=0)
+
+
+class TestView:
+    def make_view(self):
+        return View(
+            view_id=0,
+            members=(0, 1, 2, 3, 4),
+            subgroups=(
+                SubgroupSpec.of(0, [0, 1, 2]),
+                SubgroupSpec.of(1, [0, 1, 3], senders=[0, 1]),
+                SubgroupSpec.of(2, [0, 2, 4]),
+            ),
+        )
+
+    def test_table1_structure(self):
+        """The paper's Table 1 example: 5 nodes, 3 overlapping subgroups."""
+        view = self.make_view()
+        assert view.leader == 0
+        assert view.rank_of(3) == 3
+        assert view.subgroups[1].rank_of(3) is None  # node 3 not a sender
+
+    def test_subgroup_members_must_be_in_view(self):
+        with pytest.raises(ValueError, match="not in view"):
+            View(0, (0, 1), (SubgroupSpec.of(0, [0, 5]),))
+
+    def test_duplicate_subgroup_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate subgroup ids"):
+            View(0, (0, 1), (SubgroupSpec.of(0, [0]), SubgroupSpec.of(0, [1])))
+
+    def test_without_removes_failed_everywhere(self):
+        view = self.make_view()
+        succ = view.without([2])
+        assert succ.view_id == 1
+        assert succ.members == (0, 1, 3, 4)
+        assert succ.subgroups[0].members == (0, 1)
+        assert succ.departed == (2,)
+
+    def test_without_preserves_sender_order(self):
+        view = View(0, (0, 1, 2, 3),
+                    (SubgroupSpec.of(0, [0, 1, 2, 3], senders=[3, 1, 0]),))
+        succ = view.without([1])
+        assert succ.subgroups[0].senders == (3, 0)
+
+    def test_without_drops_empty_subgroup(self):
+        view = View(0, (0, 1, 2), (SubgroupSpec.of(0, [2]),
+                                   SubgroupSpec.of(1, [0, 1])))
+        succ = view.without([2])
+        assert [sg.subgroup_id for sg in succ.subgroups] == [1]
+
+    def test_without_promotes_member_if_all_senders_fail(self):
+        view = View(0, (0, 1, 2), (SubgroupSpec.of(0, [0, 1, 2], senders=[2]),))
+        succ = view.without([2])
+        assert succ.subgroups[0].senders == (0,)
+
+    def test_cannot_empty_the_view(self):
+        view = View(0, (0,), (SubgroupSpec.of(0, [0]),))
+        with pytest.raises(ValueError):
+            view.without([0])
+
+    def test_leader_changes_when_head_fails(self):
+        view = self.make_view()
+        assert view.without([0]).leader == 1

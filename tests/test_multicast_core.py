@@ -1,0 +1,350 @@
+"""Integration tests for the atomic multicast protocol: ordering,
+atomicity, batching behaviour, slot reuse, and configuration toggles."""
+
+import pytest
+
+from repro.core.config import SpindleConfig, TimingModel
+from repro.sim.units import us
+from repro.workloads import Cluster, continuous_sender, jittered_sender
+
+ALL_CONFIGS = {
+    "baseline": SpindleConfig.baseline(),
+    "batching": SpindleConfig.batching_only(),
+    "batching+nulls": SpindleConfig.batching_and_nulls(),
+    "optimized": SpindleConfig.optimized(),
+}
+
+
+def build(n, config, size=1024, window=10, senders=None, subgroups=1):
+    cluster = Cluster(num_nodes=n, config=config)
+    for _ in range(subgroups):
+        cluster.add_subgroup(message_size=size, window=window, senders=senders)
+    cluster.build()
+    return cluster
+
+
+def attach_recorder(cluster, subgroup_id=0):
+    log = {n: [] for n in cluster.members_of(subgroup_id)}
+    for n in log:
+        cluster.group(n).on_delivery(
+            subgroup_id, lambda d, n=n: log[n].append((d.seq, d.sender, d.payload))
+        )
+    return log
+
+
+@pytest.mark.parametrize("name", list(ALL_CONFIGS))
+def test_total_order_identical_across_members(name):
+    """The atomic multicast guarantee: every member delivers the same
+    messages in the same order, under every configuration."""
+    cluster = build(4, ALL_CONFIGS[name])
+    log = attach_recorder(cluster)
+    for n in cluster.node_ids:
+        cluster.spawn_sender(continuous_sender(
+            cluster.mc(n, 0), count=30, size=1024,
+            payload_fn=lambda k, n=n: b"%d:%d" % (n, k)))
+    cluster.run()
+    logs = list(log.values())
+    assert all(l == logs[0] for l in logs)
+    assert len(logs[0]) == 4 * 30
+
+
+@pytest.mark.parametrize("name", list(ALL_CONFIGS))
+def test_all_messages_delivered_exactly_once(name):
+    cluster = build(3, ALL_CONFIGS[name])
+    log = attach_recorder(cluster)
+    for n in cluster.node_ids:
+        cluster.spawn_sender(continuous_sender(
+            cluster.mc(n, 0), count=25, size=512,
+            payload_fn=lambda k, n=n: b"%d:%d" % (n, k)))
+    cluster.run()
+    for n, entries in log.items():
+        payloads = [p for (_, _, p) in entries]
+        assert len(payloads) == len(set(payloads)) == 75
+
+
+def test_fifo_per_sender():
+    """Messages from one sender are delivered in send order."""
+    cluster = build(3, SpindleConfig.optimized())
+    log = attach_recorder(cluster)
+    for n in cluster.node_ids:
+        cluster.spawn_sender(continuous_sender(
+            cluster.mc(n, 0), count=40, size=256,
+            payload_fn=lambda k, n=n: b"%d:%d" % (n, k)))
+    cluster.run()
+    for entries in log.values():
+        for sender in cluster.node_ids:
+            ks = [int(p.split(b":")[1]) for (_, s, p) in entries if s == sender]
+            assert ks == sorted(ks)
+
+
+def test_round_robin_seq_structure():
+    """seq % num_senders equals the sender's rank (§2.1 delivery order)."""
+    cluster = build(3, SpindleConfig.optimized())
+    log = attach_recorder(cluster)
+    for n in cluster.node_ids:
+        cluster.spawn_sender(continuous_sender(cluster.mc(n, 0), count=10, size=256))
+    cluster.run()
+    senders = list(cluster.view.subgroups[0].senders)
+    for entries in log.values():
+        for seq, sender, _ in entries:
+            assert senders[seq % len(senders)] == sender
+
+
+def test_payload_integrity_end_to_end():
+    cluster = build(2, SpindleConfig.optimized(), size=64)
+    log = attach_recorder(cluster)
+    expected = {n: [bytes([n]) * 32 + bytes([k]) for k in range(20)]
+                for n in cluster.node_ids}
+    for n in cluster.node_ids:
+        cluster.spawn_sender(continuous_sender(
+            cluster.mc(n, 0), count=20, size=64,
+            payload_fn=lambda k, n=n: expected[n][k]))
+    cluster.run()
+    for entries in log.values():
+        for n in cluster.node_ids:
+            got = [p for (_, s, p) in entries if s == n]
+            assert got == expected[n]
+
+
+def test_single_sender_subgroup():
+    cluster = build(4, SpindleConfig.optimized(), senders=[0])
+    log = attach_recorder(cluster)
+    cluster.spawn_sender(continuous_sender(cluster.mc(0, 0), count=50, size=512))
+    cluster.run()
+    for entries in log.values():
+        assert len(entries) == 50
+        assert all(s == 0 for (_, s, _) in entries)
+
+
+def test_non_sender_cannot_send():
+    cluster = build(3, SpindleConfig.optimized(), senders=[0, 1])
+    mc = cluster.mc(2, 0)
+    with pytest.raises(RuntimeError, match="not a sender"):
+        # Drive the generator far enough to hit the check.
+        gen = mc.queue_message(64, None)
+        cluster.sim.spawn(gen)
+        cluster.run()
+
+
+def test_window_limits_inflight_messages():
+    """A sender can never have more than `window` undelivered messages."""
+    window = 5
+    cluster = build(3, SpindleConfig.optimized(), window=window)
+    mc = cluster.mc(0, 0)
+    max_inflight = 0
+
+    def watcher():
+        nonlocal max_inflight
+        for _ in range(2000):
+            max_inflight = max(max_inflight, len(mc.own_inflight))
+            yield us(0.2)
+
+    cluster.spawn_sender(watcher())
+    for n in cluster.node_ids:
+        cluster.spawn_sender(continuous_sender(cluster.mc(n, 0), count=60, size=512))
+    cluster.run()
+    assert max_inflight <= window
+    cluster.assert_all_delivered(0, per_sender=60)
+
+
+def test_sender_blocks_when_window_full():
+    """With a tiny window the sender must wait for deliveries."""
+    cluster = build(3, SpindleConfig.optimized(), window=2)
+    for n in cluster.node_ids:
+        cluster.spawn_sender(continuous_sender(cluster.mc(n, 0), count=30, size=512))
+    cluster.run()
+    cluster.assert_all_delivered(0, per_sender=30)
+    stats = cluster.group(0).stats(0)
+    assert stats.sends_blocked > 0
+    assert stats.sender_wait_time > 0
+
+
+def test_slot_reuse_never_overwrites_undelivered():
+    """Ring-buffer safety: message content survives slot wrap-around."""
+    cluster = build(3, SpindleConfig.optimized(), window=3, size=64)
+    log = attach_recorder(cluster)
+    for n in cluster.node_ids:
+        cluster.spawn_sender(continuous_sender(
+            cluster.mc(n, 0), count=50, size=64,
+            payload_fn=lambda k, n=n: b"%d:%d" % (n, k)))
+    cluster.run()
+    logs = list(log.values())
+    assert all(l == logs[0] for l in logs)
+    assert len(logs[0]) == 150
+
+
+def test_two_node_minimal_group():
+    cluster = build(2, SpindleConfig.optimized())
+    for n in cluster.node_ids:
+        cluster.spawn_sender(continuous_sender(cluster.mc(n, 0), count=20, size=128))
+    cluster.run()
+    cluster.assert_all_delivered(0, per_sender=20)
+
+
+def test_sixteen_node_group():
+    """The paper's largest configuration."""
+    cluster = build(16, SpindleConfig.optimized(), window=20)
+    for n in cluster.node_ids:
+        cluster.spawn_sender(continuous_sender(cluster.mc(n, 0), count=10, size=1024))
+    cluster.run()
+    cluster.assert_all_delivered(0, per_sender=10)
+
+
+def test_multiple_subgroups_independent_streams():
+    cluster = build(4, SpindleConfig.optimized(), subgroups=3)
+    logs = [attach_recorder(cluster, sg) for sg in range(3)]
+    for sg in range(3):
+        for n in cluster.node_ids:
+            cluster.spawn_sender(continuous_sender(
+                cluster.mc(n, sg), count=15, size=512,
+                payload_fn=lambda k, n=n, sg=sg: b"%d:%d:%d" % (sg, n, k)))
+    cluster.run()
+    for sg in range(3):
+        entries = list(logs[sg].values())
+        assert all(e == entries[0] for e in entries)
+        assert len(entries[0]) == 60
+        assert all(p.startswith(b"%d:" % sg) for (_, _, p) in entries[0])
+
+
+def test_overlapping_subgroup_memberships():
+    """Paper Table 1 style: overlapping subgroups with distinct members."""
+    cluster = Cluster(num_nodes=5, config=SpindleConfig.optimized())
+    cluster.add_subgroup(members=[0, 1, 2], window=8, message_size=256)
+    cluster.add_subgroup(members=[0, 1, 3], window=8, message_size=256)
+    cluster.add_subgroup(members=[0, 2, 4], window=8, message_size=256)
+    cluster.build()
+    for sg, members in enumerate([[0, 1, 2], [0, 1, 3], [0, 2, 4]]):
+        for n in members:
+            cluster.spawn_sender(continuous_sender(
+                cluster.mc(n, sg), count=12, size=256))
+    cluster.run()
+    for sg in range(3):
+        cluster.assert_all_delivered(sg, per_sender=12)
+
+
+def test_jittered_senders_still_totally_ordered():
+    cluster = build(4, SpindleConfig.optimized())
+    log = attach_recorder(cluster)
+    for n in cluster.node_ids:
+        cluster.spawn_sender(jittered_sender(
+            cluster.mc(n, 0), count=25, size=256,
+            rng=cluster.sim.rng, max_gap=us(20),
+            payload_fn=lambda k, n=n: b"%d:%d" % (n, k)))
+    cluster.run()
+    logs = list(log.values())
+    assert all(l == logs[0] for l in logs)
+    assert len(logs[0]) == 100
+
+
+class TestBatchingBehaviour:
+    def test_baseline_sends_one_message_per_trigger(self):
+        cluster = build(3, SpindleConfig.baseline())
+        for n in cluster.node_ids:
+            cluster.spawn_sender(continuous_sender(cluster.mc(n, 0), count=20, size=512))
+        cluster.run()
+        stats = cluster.group(0).stats(0)
+        assert set(stats.send_batches) == {1}
+
+    def test_optimized_forms_multi_message_batches(self):
+        cluster = build(4, SpindleConfig.optimized(), window=20)
+        for n in cluster.node_ids:
+            cluster.spawn_sender(continuous_sender(cluster.mc(n, 0), count=60, size=2048))
+        cluster.run()
+        stats = cluster.group(0).stats(0)
+        assert max(stats.delivery_batches) > 1  # batched deliveries happened
+        assert stats.mean_batch(stats.delivery_batches) > 1.0
+
+    def test_batching_reduces_rdma_writes(self):
+        """§4.1.1: write count drops by an order of magnitude."""
+        def writes(config):
+            cluster = build(4, config, window=20)
+            for n in cluster.node_ids:
+                cluster.spawn_sender(continuous_sender(
+                    cluster.mc(n, 0), count=50, size=2048))
+            cluster.run()
+            cluster.assert_all_delivered(0, per_sender=50)
+            return cluster.fabric.total_writes_posted()
+
+        baseline = writes(SpindleConfig.baseline())
+        optimized = writes(SpindleConfig.batching_only())
+        assert optimized < baseline / 2
+
+    def test_batching_improves_throughput(self):
+        def thr(config):
+            cluster = build(8, config, size=10240, window=50)
+            for n in cluster.node_ids:
+                cluster.spawn_sender(continuous_sender(
+                    cluster.mc(n, 0), count=60, size=10240))
+            cluster.run()
+            return cluster.aggregate_throughput(0)
+
+        assert thr(SpindleConfig.batching_only()) > 3 * thr(SpindleConfig.baseline())
+
+    def test_receive_batches_exceed_send_batches(self):
+        """Fig. 7: receive merges all senders' streams, so its batches
+        are larger than send batches on average."""
+        cluster = build(8, SpindleConfig.optimized(), size=10240, window=50)
+        for n in cluster.node_ids:
+            cluster.spawn_sender(continuous_sender(
+                cluster.mc(n, 0), count=80, size=10240))
+        cluster.run()
+        stats = cluster.group(0).stats(0)
+        send_mean, receive_mean, delivery_mean = stats.mean_batches
+        assert receive_mean > send_mean
+        assert delivery_mean > send_mean
+
+
+class TestThreadSyncOptimization:
+    def test_early_release_reduces_lock_wait(self):
+        def wait_time(config):
+            cluster = build(6, config, size=10240, window=50)
+            for n in cluster.node_ids:
+                cluster.spawn_sender(continuous_sender(
+                    cluster.mc(n, 0), count=60, size=10240))
+            cluster.run()
+            return sum(cluster.group(n).thread.lock.wait_time
+                       for n in cluster.node_ids)
+
+        held = wait_time(SpindleConfig.batching_and_nulls())
+        released = wait_time(
+            SpindleConfig.batching_and_nulls().with_(early_lock_release=True))
+        assert released < held
+
+    def test_early_release_does_not_break_ordering(self):
+        cluster = build(4, SpindleConfig.optimized())
+        log = attach_recorder(cluster)
+        for n in cluster.node_ids:
+            cluster.spawn_sender(continuous_sender(
+                cluster.mc(n, 0), count=40, size=1024,
+                payload_fn=lambda k, n=n: b"%d:%d" % (n, k)))
+        cluster.run()
+        logs = list(log.values())
+        assert all(l == logs[0] for l in logs)
+
+
+class TestFixedBatchAblation:
+    def test_fixed_batch_still_correct(self):
+        config = SpindleConfig.batching_only().with_(fixed_send_batch=8)
+        cluster = build(3, config, window=20)
+        log = attach_recorder(cluster)
+        for n in cluster.node_ids:
+            cluster.spawn_sender(continuous_sender(cluster.mc(n, 0), count=30, size=512))
+        cluster.run()
+        logs = list(log.values())
+        assert all(l == logs[0] for l in logs)
+        assert len(logs[0]) == 90
+
+    def test_fixed_batch_worse_latency_than_opportunistic(self):
+        """§3.2: waiting to accumulate batches makes latency soar."""
+        def latency(config):
+            cluster = build(4, config, size=10240, window=50)
+            for n in cluster.node_ids:
+                cluster.spawn_sender(continuous_sender(
+                    cluster.mc(n, 0), count=60, size=10240,
+                    delay=us(5)))  # slight pacing: fixed batches must wait
+            cluster.run()
+            return cluster.mean_latency(0)
+
+        opportunistic = latency(SpindleConfig.batching_only())
+        fixed = latency(SpindleConfig.batching_only().with_(fixed_send_batch=16))
+        assert fixed > 2 * opportunistic

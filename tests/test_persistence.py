@@ -1,0 +1,146 @@
+"""Tests for durable atomic multicast (persistent delivery mode)."""
+
+import pytest
+
+from repro.core.config import SpindleConfig
+from repro.core.persistence import StorageModel
+from repro.workloads import Cluster, continuous_sender
+
+
+def build(n=3, count=25, size=1024, window=10, config=None):
+    cluster = Cluster(n, config=config or SpindleConfig.optimized())
+    cluster.add_subgroup(message_size=size, window=window, persistent=True)
+    cluster.build()
+    for nid in cluster.node_ids:
+        cluster.spawn_sender(continuous_sender(
+            cluster.mc(nid, 0), count=count, size=size,
+            payload_fn=lambda k, nid=nid: b"%d:%d" % (nid, k)))
+    return cluster
+
+
+class TestStorageModel:
+    def test_append_time_scales(self):
+        m = StorageModel()
+        assert m.append_time(1024) < m.append_time(1024 * 1024)
+        assert m.append_time(0) == m.append_time(0)  # base only
+
+    def test_batching_amortizes_base(self):
+        m = StorageModel()
+        one_big = m.append_time(64 * 1024)
+        many_small = 64 * m.append_time(1024)
+        assert one_big < many_small
+
+
+class TestDurability:
+    def test_everything_becomes_durable_everywhere(self):
+        cluster = build(n=3, count=25)
+        cluster.run_to_quiescence(max_time=30.0)
+        total = 3 * 25
+        for nid in cluster.node_ids:
+            engine = cluster.group(nid).persistence[0]
+            assert len(engine.log) == total
+            assert engine.durable_seq == cluster.mc(nid, 0).delivered_seq
+
+    def test_durable_watermark_monotone_and_bounded(self):
+        cluster = build(n=3, count=30)
+        marks = []
+        cluster.group(0).on_durable(0, marks.append)
+        cluster.run_to_quiescence(max_time=30.0)
+        assert marks == sorted(marks)
+        assert marks[-1] == cluster.mc(0, 0).delivered_seq
+        # Durability can never run ahead of delivery.
+        engine = cluster.group(0).persistence[0]
+        assert engine.persisted_seq <= cluster.mc(0, 0).delivered_seq
+
+    def test_log_contents_identical_across_members(self):
+        """The durable logs are replicas: same entries, same order
+        (this is what makes it durable Paxos)."""
+        cluster = build(n=4, count=20)
+        cluster.run_to_quiescence(max_time=30.0)
+        logs = [cluster.group(nid).persistence[0].replay()
+                for nid in cluster.node_ids]
+        assert all(log == logs[0] for log in logs)
+        seqs = [seq for seq, _, _ in logs[0]]
+        assert seqs == sorted(seqs)
+
+    def test_log_payload_integrity(self):
+        cluster = build(n=3, count=15)
+        cluster.run_to_quiescence(max_time=30.0)
+        log = cluster.group(1).persistence[0].replay()
+        payloads = {p for _, _, p in log}
+        expected = {b"%d:%d" % (nid, k) for nid in range(3) for k in range(15)}
+        assert payloads == expected
+
+    def test_durability_lags_delivery_in_time(self):
+        """Durable notification happens strictly after local delivery
+        (SSD append + persisted-ack round)."""
+        cluster = Cluster(3, config=SpindleConfig.optimized())
+        cluster.add_subgroup(message_size=1024, window=10, persistent=True)
+        cluster.build()
+        delivered_at = {}
+        durable_at = {}
+        cluster.group(0).on_delivery(
+            0, lambda d: delivered_at.setdefault(d.seq, cluster.sim.now))
+        cluster.group(0).on_durable(
+            0, lambda w: durable_at.setdefault(w, cluster.sim.now))
+        cluster.spawn_sender(continuous_sender(
+            cluster.mc(0, 0), count=10, size=1024))
+        cluster.run_to_quiescence(max_time=30.0)
+        final = max(delivered_at)
+        assert durable_at[max(durable_at)] > delivered_at[final]
+
+    def test_batched_appends_amortize(self):
+        """Under load, the storage thread appends in batches."""
+        cluster = build(n=3, count=60, window=20)
+        cluster.run_to_quiescence(max_time=30.0)
+        engine = cluster.group(0).persistence[0]
+        assert engine.batches < len(engine.log)
+
+    def test_persistence_costs_throughput(self):
+        def thr(persistent):
+            cluster = Cluster(4, config=SpindleConfig.optimized())
+            cluster.add_subgroup(message_size=10240, window=50,
+                                 persistent=persistent)
+            cluster.build()
+            for nid in cluster.node_ids:
+                cluster.spawn_sender(continuous_sender(
+                    cluster.mc(nid, 0), count=80, size=10240))
+            cluster.run_to_quiescence(max_time=60.0)
+            return cluster.aggregate_throughput(0)
+
+        # The storage thread works off the critical path, so delivery
+        # throughput holds up, but it cannot be *faster* than volatile.
+        assert thr(True) <= thr(False) * 1.05
+
+    def test_persistent_requires_atomic_mode(self):
+        cluster = Cluster(3)
+        with pytest.raises(ValueError, match="require atomic delivery"):
+            cluster.add_subgroup(delivery_mode="unordered", persistent=True)
+
+    def test_works_with_baseline_config_too(self):
+        cluster = build(n=3, count=10, config=SpindleConfig.baseline())
+        cluster.run_to_quiescence(max_time=30.0)
+        for nid in cluster.node_ids:
+            assert len(cluster.group(nid).persistence[0].log) == 30
+
+    def test_durable_log_survives_view_change(self):
+        """The log is on stable storage: an epoch restart must not lose
+        it, and the next epoch's entries append after it."""
+        from repro.workloads import continuous_sender as sender
+
+        cluster = build(n=3, count=10)
+        cluster.run_to_quiescence(max_time=30.0)
+        epoch1 = cluster.group(0).persistence[0].replay()
+        assert len(epoch1) == 30
+
+        new_view = cluster.view.without([2])
+        cluster.install_view(new_view)
+        for nid in new_view.members:
+            cluster.spawn_sender(sender(
+                cluster.mc(nid, 0), count=5, size=1024,
+                payload_fn=lambda k, nid=nid: b"e2-%d:%d" % (nid, k)))
+        cluster.run_to_quiescence(max_time=30.0)
+        log = cluster.group(0).persistence[0].replay()
+        assert log[:30] == epoch1
+        assert len(log) == 40
+        assert all(p.startswith(b"e2-") for _, _, p in log[30:])

@@ -1,0 +1,170 @@
+"""Property-based tests (hypothesis): the atomic multicast invariants
+hold under randomized group shapes, window sizes, workloads, sending
+patterns and optimization combinations."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import SpindleConfig
+from repro.sim.units import us
+from repro.workloads import Cluster, continuous_sender
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+config_strategy = st.builds(
+    SpindleConfig,
+    batch_send=st.booleans(),
+    batch_receive=st.booleans(),
+    batch_delivery=st.booleans(),
+    null_sends=st.booleans(),
+    null_send_batched=st.booleans(),
+    early_lock_release=st.booleans(),
+    batched_upcall=st.booleans(),
+)
+
+
+def run_workload(n, window, config, counts, delays, size=256):
+    """Build a cluster where node i sends counts[i] messages with
+    delays[i] pacing; return per-node delivery logs."""
+    cluster = Cluster(num_nodes=n, config=config)
+    cluster.add_subgroup(message_size=size, window=window)
+    cluster.build()
+    log = {nid: [] for nid in cluster.node_ids}
+    for nid in cluster.node_ids:
+        cluster.group(nid).on_delivery(
+            0, lambda d, nid=nid: log[nid].append((d.seq, d.sender, d.payload)))
+    for nid, (count, delay) in enumerate(zip(counts, delays)):
+        if count > 0:
+            cluster.spawn_sender(continuous_sender(
+                cluster.mc(nid, 0), count=count, size=size, delay=delay,
+                payload_fn=lambda k, nid=nid: b"%d:%d" % (nid, k)))
+        else:
+            cluster.mc(nid, 0).mark_finished()
+    cluster.run_to_quiescence(max_time=5.0)
+    return cluster, log
+
+
+@SLOW
+@given(
+    n=st.integers(2, 5),
+    window=st.integers(2, 12),
+    count=st.integers(1, 20),
+    config=config_strategy,
+)
+def test_uniform_workload_total_order(n, window, count, config):
+    """Equal senders: every config must deliver everything, identically
+    ordered, exactly once, FIFO per sender."""
+    cluster, log = run_workload(
+        n, window, config, counts=[count] * n, delays=[0.0] * n)
+    logs = list(log.values())
+    assert all(l == logs[0] for l in logs)
+    assert len(logs[0]) == n * count
+    payloads = [p for (_, _, p) in logs[0]]
+    assert len(set(payloads)) == n * count
+    for sender in range(n):
+        ks = [int(p.split(b":")[1]) for (_, s, p) in logs[0] if s == sender]
+        assert ks == sorted(ks)
+
+
+@SLOW
+@given(
+    n=st.integers(2, 5),
+    window=st.integers(2, 10),
+    counts=st.lists(st.integers(0, 15), min_size=5, max_size=5),
+    delays=st.lists(st.sampled_from([0.0, us(1), us(20), us(150)]),
+                    min_size=5, max_size=5),
+    data=st.data(),
+)
+def test_ragged_workload_with_nulls(n, window, counts, delays, data):
+    """Unequal, delayed, possibly silent senders: with null-sends on,
+    the pipeline never stalls and order is identical everywhere."""
+    counts = counts[:n]
+    delays = delays[:n]
+    config = SpindleConfig.batching_and_nulls().with_(
+        early_lock_release=data.draw(st.booleans()),
+        null_send_batched=data.draw(st.booleans()),
+    )
+    cluster, log = run_workload(n, window, config, counts, delays)
+    logs = list(log.values())
+    assert all(l == logs[0] for l in logs)
+    assert len(logs[0]) == sum(counts)
+
+
+@SLOW
+@given(
+    n=st.integers(2, 4),
+    count=st.integers(1, 12),
+    seed=st.integers(0, 2**16),
+)
+def test_jittered_sending_deterministic_per_seed(n, count, seed):
+    """Same seed -> identical run; different workload shapes still agree
+    across nodes."""
+    def one_run():
+        cluster = Cluster(num_nodes=n, config=SpindleConfig.optimized(),
+                          seed=seed)
+        cluster.add_subgroup(message_size=128, window=6)
+        cluster.build()
+        log = []
+        cluster.group(0).on_delivery(0, lambda d: log.append((d.seq, d.sender)))
+        from repro.workloads import jittered_sender
+        for nid in cluster.node_ids:
+            cluster.spawn_sender(jittered_sender(
+                cluster.mc(nid, 0), count=count, size=128,
+                rng=cluster.sim.rng, max_gap=us(30)))
+        cluster.run_to_quiescence(max_time=5.0)
+        return log, cluster.sim.now
+
+    log_a, t_a = one_run()
+    log_b, t_b = one_run()
+    assert log_a == log_b
+    assert t_a == t_b
+    assert len(log_a) == n * count
+
+
+@SLOW
+@given(
+    window=st.integers(1, 6),
+    count=st.integers(1, 30),
+)
+def test_tiny_windows_never_lose_messages(window, count):
+    """Slot-reuse safety across aggressive wrap-around."""
+    cluster, log = run_workload(
+        3, window, SpindleConfig.optimized(),
+        counts=[count] * 3, delays=[0.0] * 3)
+    for entries in log.values():
+        assert len(entries) == 3 * count
+
+
+@SLOW
+@given(config=config_strategy, count=st.integers(1, 10))
+def test_received_and_delivered_counters_monotone(config, count):
+    """SST acknowledgment counters only ever increase, as every peer
+    observes them (the monotonicity that batching exploits)."""
+    cluster = Cluster(num_nodes=3, config=config)
+    cluster.add_subgroup(message_size=128, window=5)
+    cluster.build()
+    observed = {nid: [] for nid in cluster.node_ids}
+    for nid in cluster.node_ids:
+        sst = cluster.group(nid).sst
+        cols = cluster.mc(nid, 0).cols
+
+        def hook(region, snap, nid=nid, sst=sst, cols=cols):
+            values = tuple(
+                (sst.read(owner, cols.received), sst.read(owner, cols.delivered))
+                for owner in sst.members
+            )
+            observed[nid].append(values)
+
+        cluster.fabric.nodes[nid].on_remote_write.append(hook)
+    for nid in cluster.node_ids:
+        cluster.spawn_sender(continuous_sender(
+            cluster.mc(nid, 0), count=count, size=128))
+    cluster.run_to_quiescence(max_time=5.0)
+    for snapshots in observed.values():
+        for earlier, later in zip(snapshots, snapshots[1:]):
+            for (r0, d0), (r1, d1) in zip(earlier, later):
+                assert r1 >= r0
+                assert d1 >= d0

@@ -1,0 +1,320 @@
+"""Unit tests for the simulated RDMA fabric: timing, ordering, semantics."""
+
+import pytest
+
+from repro.rdma import (
+    ByteRegion,
+    CellRegion,
+    LatencyModel,
+    ProtectionDomain,
+    RdmaFabric,
+    WorkRequest,
+    post_write,
+)
+from repro.sim import Simulator
+from repro.sim.units import us
+
+
+def make_pair():
+    sim = Simulator()
+    fabric = RdmaFabric(sim)
+    a = fabric.add_node()
+    b = fabric.add_node()
+    return sim, fabric, a, b
+
+
+class TestLatencyModel:
+    def test_figure1_calibration_points(self):
+        m = LatencyModel()
+        assert m.end_to_end(1) == pytest.approx(us(1.73), rel=1e-2)
+        assert m.end_to_end(4096) == pytest.approx(us(2.46), rel=1e-2)
+
+    def test_latency_nearly_flat_below_4kb(self):
+        """The paper's Fig. 1 observation: latency barely grows to 4 KB."""
+        m = LatencyModel()
+        assert m.end_to_end(4096) / m.end_to_end(1) < 1.5
+
+    def test_occupancy_is_bandwidth_bound_for_large_writes(self):
+        m = LatencyModel()
+        size = 10 * 1024 * 1024
+        assert m.occupancy(size) == pytest.approx(size / m.link_bandwidth)
+
+    def test_occupancy_has_per_op_floor(self):
+        m = LatencyModel()
+        assert m.occupancy(1) == m.min_op_gap
+
+
+class TestByteRegion:
+    def test_local_write_read_roundtrip(self):
+        r = ByteRegion(64)
+        r.write_local(10, b"hello")
+        assert r.read(10, 5) == b"hello"
+
+    def test_out_of_bounds_access_raises(self):
+        r = ByteRegion(16)
+        with pytest.raises(IndexError):
+            r.write_local(12, b"too long!")
+        with pytest.raises(IndexError):
+            r.read(-1, 4)
+
+    def test_snapshot_is_immutable_copy(self):
+        r = ByteRegion(8)
+        r.write_local(0, b"aaaa")
+        snap = r.snapshot(0, 4)
+        r.write_local(0, b"bbbb")
+        assert snap.data == b"aaaa"
+
+    def test_zero_size_region_rejected(self):
+        with pytest.raises(ValueError):
+            ByteRegion(0)
+
+
+class TestCellRegion:
+    def test_cells_hold_arbitrary_values(self):
+        r = CellRegion([8, 8, 10240])
+        r.write_local(0, 7)
+        r.write_local(2, b"payload")
+        assert r.read(0) == 7
+        assert r.read(2) == b"payload"
+
+    def test_size_of_spans(self):
+        r = CellRegion([8, 8, 10240])
+        assert r.size_of(0, 2) == 16
+        assert r.size_of(0, 3) == 10256
+        assert r.total_bytes == 10256
+
+    def test_snapshot_apply_roundtrip(self):
+        src = CellRegion([8, 8])
+        dst = CellRegion([8, 8])
+        src.write_local(0, 1)
+        src.write_local(1, 2)
+        dst.apply_write(src.snapshot(0, 2))
+        assert dst.read(0) == 1 and dst.read(1) == 2
+
+    def test_invalid_cell_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            CellRegion([])
+        with pytest.raises(ValueError):
+            CellRegion([8, 0])
+
+
+class TestWriteTiming:
+    def test_write_arrives_after_wire_latency(self):
+        sim, fabric, a, b = make_pair()
+        src = ByteRegion(16)
+        dst = ByteRegion(16)
+        a.register(src)
+        key = b.register(dst)
+        src.write_local(0, b"x")
+        qp = fabric.queue_pair(a.node_id, b.node_id)
+        qp.post_write(src, 0, key, 0, 1)
+        sim.run()
+        expected = fabric.latency.occupancy(1) + fabric.latency.wire_latency(1)
+        assert sim.now == pytest.approx(expected)
+        assert dst.read(0, 1) == b"x"
+
+    def test_egress_serialization_queues_writes(self):
+        """Two large writes posted together serialize through the link."""
+        sim, fabric, a, b = make_pair()
+        size = 1_000_000
+        src = ByteRegion(size)
+        dst = ByteRegion(size)
+        a.register(src)
+        key = b.register(dst)
+        qp = fabric.queue_pair(a.node_id, b.node_id)
+        qp.post_write(src, 0, key, 0, size)
+        qp.post_write(src, 0, key, 0, size)
+        sim.run()
+        occupancy = fabric.latency.occupancy(size)
+        expected = 2 * occupancy + fabric.latency.wire_latency(size)
+        assert sim.now == pytest.approx(expected)
+
+    def test_completion_fires_at_egress_finish(self):
+        sim, fabric, a, b = make_pair()
+        src = ByteRegion(1024)
+        dst = ByteRegion(1024)
+        a.register(src)
+        key = b.register(dst)
+        qp = fabric.queue_pair(a.node_id, b.node_id)
+        completions = []
+        qp.post_write(src, 0, key, 0, 1024,
+                      on_complete=lambda: completions.append(sim.now))
+        sim.run()
+        assert completions == [pytest.approx(fabric.latency.occupancy(1024))]
+
+
+class TestOrderingGuarantees:
+    def test_same_qp_writes_apply_in_post_order(self):
+        """A big write followed by a tiny one must not be overtaken."""
+        sim, fabric, a, b = make_pair()
+        src = CellRegion([1024 * 1024, 8])
+        dst = CellRegion([1024 * 1024, 8])
+        a.register(src)
+        key = b.register(dst)
+        qp = fabric.queue_pair(a.node_id, b.node_id)
+
+        arrivals = []
+        b.on_remote_write.append(lambda region, snap: arrivals.append(snap.offset))
+
+        src.write_local(0, b"big")
+        src.write_local(1, 42)
+        qp.post_write(src, 0, key, 0, 1)  # 1 MB cell
+        qp.post_write(src, 1, key, 1, 1)  # 8 B guard
+        sim.run()
+        assert arrivals == [0, 1]
+
+    def test_memory_fence_guard_pattern(self):
+        """Derecho's guarded-data idiom: if the guard is visible, so is
+        the data it guards (paper §2.2)."""
+        sim, fabric, a, b = make_pair()
+        src = CellRegion([4096, 8])
+        dst = CellRegion([4096, 8])
+        a.register(src)
+        key = b.register(dst)
+        qp = fabric.queue_pair(a.node_id, b.node_id)
+
+        violations = []
+
+        def check(region, snap):
+            # Whenever the guard cell updates, data must already be there.
+            if snap.offset == 1 and region.read(0) != "DATA":
+                violations.append(sim.now)
+
+        b.on_remote_write.append(check)
+
+        src.write_local(0, "DATA")
+        qp.post_write(src, 0, key, 0, 1)
+        src.write_local(1, 1)
+        qp.post_write(src, 1, key, 1, 1)
+        sim.run()
+        assert violations == []
+
+    def test_snapshot_taken_at_post_time(self):
+        sim, fabric, a, b = make_pair()
+        src = CellRegion([8])
+        dst = CellRegion([8])
+        a.register(src)
+        key = b.register(dst)
+        qp = fabric.queue_pair(a.node_id, b.node_id)
+        src.write_local(0, "old")
+        qp.post_write(src, 0, key, 0, 1)
+        src.write_local(0, "new")  # mutate after post, before arrival
+        sim.run()
+        assert dst.read(0) == "old"
+
+
+class TestFailures:
+    def test_write_to_dead_node_dropped(self):
+        sim, fabric, a, b = make_pair()
+        src = ByteRegion(8)
+        dst = ByteRegion(8)
+        a.register(src)
+        key = b.register(dst)
+        fabric.fail_node(b.node_id)
+        qp = fabric.queue_pair(a.node_id, b.node_id)
+        src.write_local(0, b"x")
+        qp.post_write(src, 0, key, 0, 1)
+        sim.run()
+        assert dst.read(0, 1) == b"\x00"
+        assert a.writes_dropped == 1
+
+    def test_write_from_dead_node_dropped(self):
+        sim, fabric, a, b = make_pair()
+        src = ByteRegion(8)
+        dst = ByteRegion(8)
+        a.register(src)
+        key = b.register(dst)
+        fabric.fail_node(a.node_id)
+        qp = fabric.queue_pair(a.node_id, b.node_id)
+        qp.post_write(src, 0, key, 0, 1)
+        sim.run()
+        assert b.writes_received == 0
+
+    def test_in_flight_write_to_node_that_dies_is_dropped(self):
+        sim, fabric, a, b = make_pair()
+        src = ByteRegion(8)
+        dst = ByteRegion(8)
+        a.register(src)
+        key = b.register(dst)
+        qp = fabric.queue_pair(a.node_id, b.node_id)
+        src.write_local(0, b"x")
+        qp.post_write(src, 0, key, 0, 1)
+        fabric.fail_node(b.node_id)  # dies while the write is in flight
+        sim.run()
+        assert dst.read(0, 1) == b"\x00"
+
+    def test_write_to_deregistered_region_dropped(self):
+        sim, fabric, a, b = make_pair()
+        src = ByteRegion(8)
+        dst = ByteRegion(8)
+        a.register(src)
+        key = b.register(dst)
+        qp = fabric.queue_pair(a.node_id, b.node_id)
+        qp.post_write(src, 0, key, 0, 1)
+        b.deregister(key)
+        sim.run()
+        assert b.writes_dropped == 1
+
+
+class TestFabricApi:
+    def test_no_loopback_qp(self):
+        sim, fabric, a, b = make_pair()
+        with pytest.raises(ValueError):
+            fabric.queue_pair(a.node_id, a.node_id)
+
+    def test_qp_cached_per_direction(self):
+        sim, fabric, a, b = make_pair()
+        ab = fabric.queue_pair(a.node_id, b.node_id)
+        ba = fabric.queue_pair(b.node_id, a.node_id)
+        assert ab is fabric.queue_pair(a.node_id, b.node_id)
+        assert ab is not ba
+
+    def test_duplicate_node_id_rejected(self):
+        sim = Simulator()
+        fabric = RdmaFabric(sim)
+        fabric.add_node(5)
+        with pytest.raises(ValueError):
+            fabric.add_node(5)
+
+    def test_counters_accumulate(self):
+        sim, fabric, a, b = make_pair()
+        src = ByteRegion(64)
+        dst = ByteRegion(64)
+        a.register(src)
+        key = b.register(dst)
+        qp = fabric.queue_pair(a.node_id, b.node_id)
+        for _ in range(3):
+            qp.post_write(src, 0, key, 0, 16)
+        sim.run()
+        assert a.writes_posted == 3
+        assert a.bytes_posted == 48
+        assert b.writes_received == 3
+        assert b.bytes_received == 48
+        assert fabric.total_writes_posted() == 3
+        assert fabric.total_bytes_posted() == 48
+
+
+class TestVerbsFacade:
+    def test_post_write_via_work_request(self):
+        sim, fabric, a, b = make_pair()
+        pd_a = ProtectionDomain(fabric, a)
+        pd_b = ProtectionDomain(fabric, b)
+        mr_a = pd_a.alloc_buffer(32)
+        mr_b = pd_b.alloc_buffer(32)
+        mr_a.region.write_local(0, b"ping")
+        qp = pd_a.queue_pair(b.node_id)
+        post_write(qp, WorkRequest(mr_a, 0, mr_b, 8, 4))
+        sim.run()
+        assert mr_b.region.read(8, 4) == b"ping"
+
+    def test_wrong_node_buffers_rejected(self):
+        sim, fabric, a, b = make_pair()
+        pd_a = ProtectionDomain(fabric, a)
+        pd_b = ProtectionDomain(fabric, b)
+        mr_a = pd_a.alloc_buffer(32)
+        mr_b = pd_b.alloc_buffer(32)
+        qp = pd_a.queue_pair(b.node_id)
+        with pytest.raises(ValueError):
+            post_write(qp, WorkRequest(mr_b, 0, mr_b, 0, 4))
+        with pytest.raises(ValueError):
+            post_write(qp, WorkRequest(mr_a, 0, mr_a, 0, 4))

@@ -1,0 +1,197 @@
+"""Tests for the RDMC large-message multicast subsystem."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rdma import RdmaFabric
+from repro.rdmc import RdmcGroup, SCHEMES, build_schedule, sends_by_holder
+from repro.sim import Simulator
+
+
+def make_group(n, scheme, block_size=4096):
+    sim = Simulator()
+    fabric = RdmaFabric(sim)
+    members = [fabric.add_node().node_id for _ in range(n)]
+    group = RdmcGroup(fabric, members, block_size=block_size, scheme=scheme)
+    return sim, fabric, members, group
+
+
+class TestSchedules:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("n,blocks", [(2, 1), (3, 2), (8, 4), (13, 7)])
+    def test_every_rank_gets_every_block(self, scheme, n, blocks):
+        schedule = build_schedule(scheme, n, blocks)
+        held = {0: set(range(blocks))}
+        for rank in range(1, n):
+            held[rank] = set()
+        # Simulate dependency-respecting execution to a fixpoint.
+        progress = True
+        remaining = list(schedule)
+        while progress:
+            progress = False
+            for step in list(remaining):
+                if step.block in held[step.src]:
+                    held[step.dst].add(step.block)
+                    remaining.remove(step)
+                    progress = True
+        assert not remaining, "schedule has unsatisfiable dependencies"
+        for rank in range(n):
+            assert held[rank] == set(range(blocks))
+
+    def test_binomial_send_count_is_minimal(self):
+        # A whole-message binomial tree performs exactly n-1 transfers
+        # per block.
+        for n in (2, 5, 8, 16):
+            schedule = build_schedule("binomial", n, 3)
+            assert len(schedule) == 3 * (n - 1)
+
+    def test_sequential_all_from_sender(self):
+        schedule = build_schedule("sequential", 6, 2)
+        assert all(s.src == 0 for s in schedule)
+
+    def test_pipeline_staggers_rounds(self):
+        schedule = build_schedule("binomial_pipeline", 8, 4)
+        first_round = {
+            b: min(s.round for s in schedule if s.block == b)
+            for b in range(4)
+        }
+        assert first_round == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_single_node_schedule_empty(self):
+        assert build_schedule("binomial", 1, 5) == []
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            build_schedule("magic", 4, 2)
+
+    def test_sends_by_holder_round_ordered(self):
+        index = sends_by_holder(build_schedule("binomial_pipeline", 8, 4))
+        for sends in index.values():
+            rounds = [s.round for s in sends]
+            assert rounds == sorted(rounds)
+
+
+class TestSessions:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_payload_delivered_intact(self, scheme):
+        sim, fabric, members, group = make_group(5, scheme, block_size=1024)
+        payload = bytes(range(256)) * 14  # 3.5 KB -> 4 blocks
+        delivered = []
+        session = group.multicast(members[2], len(payload), payload,
+                                  on_delivered=delivered.append)
+        sim.run()
+        assert session.complete
+        assert sorted(delivered) == [m for m in members if m != members[2]]
+        for m in members:
+            assert session.payload_at(m) == payload
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_size_only_mode(self, scheme):
+        sim, fabric, members, group = make_group(4, scheme, block_size=64 * 1024)
+        session = group.multicast(members[0], 1_000_000)
+        sim.run()
+        assert session.complete
+        assert session.num_blocks == math.ceil(1_000_000 / (64 * 1024))
+
+    def test_binomial_beats_sequential_for_large_groups(self):
+        """The Fig. 4 remark: relay schedules win at larger groups."""
+        def completion(scheme, n):
+            sim, fabric, members, group = make_group(n, scheme,
+                                                     block_size=1 << 20)
+            session = group.multicast(members[0], 8 << 20)  # 8 MB
+            sim.run()
+            return max(session.completion_time(m) for m in members)
+
+        for n in (8, 16):
+            assert completion("binomial", n) < completion("sequential", n)
+
+    def test_pipeline_beats_plain_binomial_with_many_blocks(self):
+        def completion(scheme):
+            sim, fabric, members, group = make_group(16, scheme,
+                                                     block_size=256 * 1024)
+            session = group.multicast(members[0], 32 << 20)  # 128 blocks
+            sim.run()
+            return max(session.completion_time(m) for m in members)
+
+        assert completion("binomial_pipeline") < completion("binomial")
+
+    def test_sequential_scales_linearly_with_members(self):
+        def completion(n):
+            sim, fabric, members, group = make_group(n, "sequential",
+                                                     block_size=1 << 20)
+            session = group.multicast(members[0], 4 << 20)
+            sim.run()
+            return max(session.completion_time(m) for m in members)
+
+        t4, t8 = completion(4), completion(8)
+        assert t8 / t4 == pytest.approx((8 - 1) / (4 - 1), rel=0.15)
+
+    def test_binomial_scales_logarithmically(self):
+        def completion(n):
+            sim, fabric, members, group = make_group(n, "binomial",
+                                                     block_size=1 << 20)
+            session = group.multicast(members[0], 4 << 20)
+            sim.run()
+            return max(session.completion_time(m) for m in members)
+
+        t4, t16 = completion(4), completion(16)
+        assert t16 / t4 == pytest.approx(2.0, rel=0.3)  # log2(16)/log2(4)
+
+    def test_concurrent_sessions_do_not_interfere(self):
+        sim, fabric, members, group = make_group(4, "binomial_pipeline",
+                                                 block_size=512)
+        p1 = b"a" * 2048
+        p2 = b"b" * 1536
+        s1 = group.multicast(members[0], len(p1), p1)
+        s2 = group.multicast(members[1], len(p2), p2)
+        sim.run()
+        assert s1.complete and s2.complete
+        assert s1.payload_at(members[3]) == p1
+        assert s2.payload_at(members[3]) == p2
+
+    def test_release_deregisters_regions(self):
+        sim, fabric, members, group = make_group(3, "binomial", block_size=512)
+        session = group.multicast(members[0], 1024, b"x" * 1024)
+        sim.run()
+        before = sum(len(fabric.nodes[m].regions) for m in members)
+        session.release()
+        after = sum(len(fabric.nodes[m].regions) for m in members)
+        assert before - after == 3
+
+    def test_validation(self):
+        sim, fabric, members, group = make_group(3, "binomial")
+        with pytest.raises(ValueError, match="not a group member"):
+            group.multicast(999, 100)
+        with pytest.raises(ValueError, match="size must be positive"):
+            group.multicast(members[0], 0)
+        with pytest.raises(ValueError, match="length must equal"):
+            group.multicast(members[0], 10, b"short")
+        with pytest.raises(ValueError):
+            RdmcGroup(fabric, [members[0]])
+        with pytest.raises(ValueError):
+            RdmcGroup(fabric, members, block_size=0)
+        with pytest.raises(ValueError):
+            RdmcGroup(fabric, members, scheme="bogus")
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(2, 10),
+    blocks=st.integers(1, 12),
+    scheme=st.sampled_from(SCHEMES),
+    sender_idx=st.integers(0, 9),
+)
+def test_property_full_delivery(n, blocks, scheme, sender_idx):
+    """Property: any group size / block count / sender completes and
+    every member ends with the full message."""
+    block_size = 512
+    sim, fabric, members, group = make_group(n, scheme, block_size)
+    sender = members[sender_idx % n]
+    payload = bytes((i * 7) % 256 for i in range(blocks * block_size - 13))
+    session = group.multicast(sender, len(payload), payload)
+    sim.run()
+    assert session.complete
+    for m in members:
+        assert session.payload_at(m) == payload

@@ -1,0 +1,132 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Simulator, SimulationError
+from repro.sim.units import us
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_call_after_fires_in_order():
+    sim = Simulator()
+    fired = []
+    sim.call_after(2.0, fired.append, "late")
+    sim.call_after(1.0, fired.append, "early")
+    sim.run()
+    assert fired == ["early", "late"]
+    assert sim.now == 2.0
+
+
+def test_same_time_events_fire_fifo():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.call_after(1.0, fired.append, i)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_run_until_stops_at_boundary():
+    sim = Simulator()
+    fired = []
+    sim.call_after(1.0, fired.append, "in")
+    sim.call_after(3.0, fired.append, "out")
+    sim.run(until=2.0)
+    assert fired == ["in"]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == ["in", "out"]
+
+
+def test_run_until_advances_time_even_if_idle():
+    sim = Simulator()
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulator()
+    sim.call_after(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(0.5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_after(-1.0, lambda: None)
+
+
+def test_timer_cancel_prevents_fire():
+    sim = Simulator()
+    fired = []
+    timer = sim.call_after(1.0, fired.append, "x")
+    timer.cancel()
+    sim.run()
+    assert fired == []
+    assert not timer.active
+
+
+def test_nested_scheduling_from_callback():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append(("outer", sim.now))
+        sim.call_after(1.5, inner)
+
+    def inner():
+        fired.append(("inner", sim.now))
+
+    sim.call_after(1.0, outer)
+    sim.run()
+    assert fired == [("outer", 1.0), ("inner", 2.5)]
+
+
+def test_stop_halts_run_loop():
+    sim = Simulator()
+    fired = []
+    sim.call_after(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.call_after(2.0, fired.append, 2)
+    sim.run()
+    assert fired == [1]
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() is None
+    t = sim.call_after(3.0, lambda: None)
+    assert sim.peek() == 3.0
+    t.cancel()
+    assert sim.peek() is None
+
+
+def test_rng_is_seeded_and_deterministic():
+    a = Simulator(seed=7).rng.random()
+    b = Simulator(seed=7).rng.random()
+    c = Simulator(seed=8).rng.random()
+    assert a == b
+    assert a != c
+
+
+def test_microsecond_scale_accumulation():
+    sim = Simulator()
+    count = 0
+
+    def tick():
+        nonlocal count
+        count += 1
+        if count < 1000:
+            sim.call_after(us(1), tick)
+
+    sim.call_after(us(1), tick)
+    sim.run()
+    assert count == 1000
+    assert sim.now == pytest.approx(us(1000))

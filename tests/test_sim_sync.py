@@ -1,0 +1,175 @@
+"""Unit tests for simulated synchronization primitives."""
+
+import pytest
+
+from repro.sim import Doorbell, Event, Lock, Simulator
+
+
+def test_event_triggers_once():
+    sim = Simulator()
+    event = Event(sim)
+    event.trigger(1)
+    with pytest.raises(RuntimeError):
+        event.trigger(2)
+
+
+def test_event_wakes_all_waiters():
+    sim = Simulator()
+    event = Event(sim)
+    got = []
+
+    def waiter(i):
+        value = yield event
+        got.append((i, value))
+
+    for i in range(3):
+        sim.spawn(waiter(i))
+    sim.call_after(1.0, event.trigger, "v")
+    sim.run()
+    assert sorted(got) == [(0, "v"), (1, "v"), (2, "v")]
+
+
+class TestDoorbell:
+    def test_ring_wakes_waiter(self):
+        sim = Simulator()
+        bell = Doorbell(sim)
+        woke = []
+
+        def poller():
+            yield bell.wait()
+            woke.append(sim.now)
+
+        sim.spawn(poller())
+        sim.call_after(2.0, bell.ring)
+        sim.run()
+        assert woke == [2.0]
+
+    def test_pending_ring_not_lost(self):
+        """A ring that arrives before wait() must not be missed."""
+        sim = Simulator()
+        bell = Doorbell(sim)
+        woke = []
+
+        def poller():
+            yield 5.0  # busy working while the ring arrives
+            yield bell.wait()
+            woke.append(sim.now)
+
+        sim.spawn(poller())
+        sim.call_after(1.0, bell.ring)
+        sim.run()
+        assert woke == [5.0]
+
+    def test_multiple_rings_collapse_to_one_pending(self):
+        sim = Simulator()
+        bell = Doorbell(sim)
+        woke = []
+
+        def poller():
+            yield 5.0
+            yield bell.wait()
+            woke.append(sim.now)
+            yield bell.wait()  # no further ring: blocks forever
+            woke.append(sim.now)
+
+        sim.spawn(poller())
+        sim.call_after(1.0, bell.ring)
+        sim.call_after(2.0, bell.ring)
+        sim.run()
+        assert woke == [5.0]
+        assert bell.rings == 2
+
+    def test_ring_wakes_all_current_waiters(self):
+        sim = Simulator()
+        bell = Doorbell(sim)
+        woke = []
+
+        def poller(i):
+            yield bell.wait()
+            woke.append(i)
+
+        for i in range(3):
+            sim.spawn(poller(i))
+        sim.call_after(1.0, bell.ring)
+        sim.run()
+        assert sorted(woke) == [0, 1, 2]
+
+    def test_waiting_count(self):
+        sim = Simulator()
+        bell = Doorbell(sim)
+
+        def poller():
+            yield bell.wait()
+
+        sim.spawn(poller())
+        sim.run(until=0.1)
+        assert bell.waiting == 1
+        bell.ring()
+        sim.run(until=0.2)
+        assert bell.waiting == 0
+
+
+class TestLock:
+    def test_mutual_exclusion_and_fifo(self):
+        sim = Simulator()
+        lock = Lock(sim)
+        trace = []
+
+        def worker(i):
+            yield lock.acquire()
+            trace.append(("in", i, sim.now))
+            yield 1.0
+            trace.append(("out", i, sim.now))
+            lock.release()
+
+        for i in range(3):
+            sim.spawn(worker(i))
+        sim.run()
+        # Critical sections are strictly serialized in FIFO order.
+        assert trace == [
+            ("in", 0, 0.0), ("out", 0, 1.0),
+            ("in", 1, 1.0), ("out", 1, 2.0),
+            ("in", 2, 2.0), ("out", 2, 3.0),
+        ]
+
+    def test_release_without_hold_raises(self):
+        sim = Simulator()
+        lock = Lock(sim)
+        with pytest.raises(RuntimeError):
+            lock.release()
+
+    def test_uncontended_acquire_is_immediate(self):
+        sim = Simulator()
+        lock = Lock(sim)
+        times = []
+
+        def worker():
+            yield lock.acquire()
+            times.append(sim.now)
+            lock.release()
+
+        sim.spawn(worker())
+        sim.run()
+        assert times == [0.0]
+        assert lock.contended_acquires == 0
+
+    def test_contention_statistics(self):
+        sim = Simulator()
+        lock = Lock(sim)
+
+        def holder():
+            yield lock.acquire()
+            yield 2.0
+            lock.release()
+
+        def waiter():
+            yield 0.5
+            yield lock.acquire()
+            lock.release()
+
+        sim.spawn(holder())
+        sim.spawn(waiter())
+        sim.run()
+        assert lock.acquires == 2
+        assert lock.contended_acquires == 1
+        assert lock.wait_time == pytest.approx(1.5)

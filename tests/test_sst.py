@@ -1,0 +1,253 @@
+"""Unit tests for the SST layer: layout, replication, monotonicity,
+push semantics and the guarded-value idiom."""
+
+import pytest
+
+from repro.rdma import RdmaFabric
+from repro.sim import Simulator
+from repro.sst import SST, GuardedValue, SSTLayout, wire_ssts
+
+
+def build_cluster(n, layout_fn):
+    """n nodes, each with an SST replica using layout_fn(layout)."""
+    sim = Simulator()
+    fabric = RdmaFabric(sim)
+    nodes = [fabric.add_node() for _ in range(n)]
+    ssts = {}
+    for node in nodes:
+        layout = SSTLayout()
+        layout_fn(layout)
+        ssts[node.node_id] = SST(layout, fabric, node, [x.node_id for x in nodes])
+    wire_ssts(ssts)
+    return sim, fabric, ssts
+
+
+def simple_layout(layout):
+    layout.counter("received_num")
+    layout.counter("delivered_num")
+
+
+def run_push(sim, sst, lo, hi, targets=None):
+    """Drive a push generator inside a throwaway process."""
+
+    def proc():
+        yield from sst.push(lo, hi, targets)
+
+    sim.spawn(proc())
+    sim.run()
+
+
+class TestLayout:
+    def test_column_indices_in_order(self):
+        layout = SSTLayout()
+        a = layout.counter("a")
+        b = layout.flag("b")
+        c = layout.slot("c", 1024)
+        assert (a, b, c) == (0, 1, 2)
+        assert layout.index_of("b") == 1
+
+    def test_cell_sizes_and_row_bytes(self):
+        layout = SSTLayout()
+        layout.counter("r")
+        layout.counter("d")
+        layout.slot("s", 10240)
+        assert layout.cell_sizes == (8, 8, 10248)
+        assert layout.row_bytes == 10264
+
+    def test_paper_row_size_formula(self):
+        """§4.1.2: slots take n*w*(m+8) bytes; per row that is w*(m+8)."""
+        w, m = 100, 10240
+        layout = SSTLayout()
+        layout.counter("r")
+        layout.counter("d")
+        for i in range(w):
+            layout.slot(f"s{i}", m)
+        assert layout.row_bytes == 16 + w * (m + 8)
+
+    def test_duplicate_names_rejected(self):
+        layout = SSTLayout()
+        layout.counter("x")
+        with pytest.raises(ValueError):
+            layout.counter("x")
+
+    def test_frozen_layout_rejects_columns(self):
+        layout = SSTLayout()
+        layout.counter("x")
+        layout.freeze()
+        with pytest.raises(RuntimeError):
+            layout.counter("y")
+
+    def test_initial_values(self):
+        layout = SSTLayout()
+        layout.counter("c")          # default -1
+        layout.counter("z", initial=0)
+        layout.flag("f")
+        assert layout.initial_values() == [-1, 0, False]
+
+
+class TestSSTBasics:
+    def test_rows_start_at_initial_values(self):
+        sim, fabric, ssts = build_cluster(3, simple_layout)
+        for sst in ssts.values():
+            for owner in sst.members:
+                assert sst.read(owner, 0) == -1
+                assert sst.read(owner, 1) == -1
+
+    def test_local_set_not_visible_remotely_before_push(self):
+        sim, fabric, ssts = build_cluster(2, simple_layout)
+        ssts[0].set(0, 5)
+        assert ssts[0].read_own(0) == 5
+        assert ssts[1].read(0, 0) == -1
+
+    def test_push_replicates_to_targets(self):
+        sim, fabric, ssts = build_cluster(3, simple_layout)
+        ssts[0].set(0, 7)
+        ssts[0].set(1, 3)
+        run_push(sim, ssts[0], 0, 2)
+        assert ssts[1].read(0, 0) == 7
+        assert ssts[1].read(0, 1) == 3
+        assert ssts[2].read(0, 0) == 7
+
+    def test_push_to_subset_only(self):
+        """Updates for a subgroup go only to subgroup members (§2.2)."""
+        sim, fabric, ssts = build_cluster(3, simple_layout)
+        ssts[0].set(0, 9)
+        run_push(sim, ssts[0], 0, 1, targets=[1])
+        assert ssts[1].read(0, 0) == 9
+        assert ssts[2].read(0, 0) == -1
+
+    def test_push_charges_post_overhead_per_target(self):
+        sim, fabric, ssts = build_cluster(4, simple_layout)
+        ssts[0].set(0, 1)
+
+        elapsed = {}
+
+        def proc():
+            start = sim.now
+            yield from ssts[0].push(0, 1)  # 3 remote targets
+            elapsed["cpu"] = sim.now - start
+
+        sim.spawn(proc())
+        sim.run()
+        assert elapsed["cpu"] == pytest.approx(3 * fabric.latency.post_overhead)
+        assert ssts[0].pushes_posted == 3
+
+    def test_counter_monotonicity_enforced(self):
+        sim, fabric, ssts = build_cluster(2, simple_layout)
+        ssts[0].set(0, 5)
+        with pytest.raises(ValueError, match="must not decrease"):
+            ssts[0].set(0, 4)
+
+    def test_flag_cannot_reset(self):
+        def layout_fn(layout):
+            layout.flag("suspected")
+
+        sim, fabric, ssts = build_cluster(2, layout_fn)
+        ssts[0].set(0, True)
+        with pytest.raises(ValueError, match="must not reset"):
+            ssts[0].set(0, False)
+
+    def test_local_node_must_be_member(self):
+        sim = Simulator()
+        fabric = RdmaFabric(sim)
+        node = fabric.add_node()
+        layout = SSTLayout()
+        layout.counter("c")
+        with pytest.raises(ValueError):
+            SST(layout, fabric, node, [node.node_id + 1])
+
+    def test_bad_push_span_rejected(self):
+        sim, fabric, ssts = build_cluster(2, simple_layout)
+        with pytest.raises(IndexError):
+            list(ssts[0].push(1, 1))
+        with pytest.raises(IndexError):
+            list(ssts[0].push(0, 99))
+
+    def test_column_reads_across_rows(self):
+        sim, fabric, ssts = build_cluster(3, simple_layout)
+        for i in range(3):
+            ssts[i].set(0, i * 10)
+            run_push(sim, ssts[i], 0, 1)
+        assert ssts[0].column(0) == [0, 10, 20]
+        assert ssts[0].column(0, owners=[2, 1]) == [20, 10]
+
+    def test_format_table_contains_all_rows(self):
+        sim, fabric, ssts = build_cluster(3, simple_layout)
+        text = ssts[0].format_table()
+        assert "received_num" in text
+        assert text.count("\n") >= 4
+
+
+class TestMonotonicVisibility:
+    def test_sequence_of_pushes_seen_in_order(self):
+        """A peer observes a non-decreasing sequence of counter values
+        (the property monotonic predicates rely on, §2.4)."""
+        sim, fabric, ssts = build_cluster(2, simple_layout)
+        seen = []
+        node1 = fabric.nodes[1]
+        node1.on_remote_write.append(
+            lambda region, snap: seen.append(ssts[1].read(0, 0))
+        )
+
+        def writer():
+            for value in range(10):
+                ssts[0].set(0, value)
+                yield from ssts[0].push(0, 1)
+                yield 1e-7
+
+        sim.spawn(writer())
+        sim.run()
+        assert seen == sorted(seen)
+        assert seen[-1] == 9
+
+    def test_batched_push_skips_intermediate_values(self):
+        """Batching acks = pushing only the final counter value (§3.2)."""
+        sim, fabric, ssts = build_cluster(2, simple_layout)
+        ssts[0].set(0, 3)
+        ssts[0].set(0, 9)  # several local increments, one push
+        run_push(sim, ssts[0], 0, 1)
+        assert ssts[1].read(0, 0) == 9
+
+
+class TestGuardedValue:
+    def layout_fn(self, layout):
+        self.cols = GuardedValue.declare(layout, "changes", size=256)
+
+    def test_publish_and_read(self):
+        sim, fabric, ssts = build_cluster(2, self.layout_fn)
+        data_col, guard_col = self.cols
+        gv0 = GuardedValue(ssts[0], data_col, guard_col)
+        gv1 = GuardedValue(ssts[1], data_col, guard_col)
+
+        def proc():
+            version = yield from gv0.publish(("remove", 2))
+            assert version == 0
+
+        sim.spawn(proc())
+        sim.run()
+        version, value = gv1.read(0)
+        assert version == 0
+        assert value == ("remove", 2)
+
+    def test_guard_never_visible_before_data(self):
+        sim, fabric, ssts = build_cluster(2, self.layout_fn)
+        data_col, guard_col = self.cols
+        gv0 = GuardedValue(ssts[0], data_col, guard_col)
+        gv1 = GuardedValue(ssts[1], data_col, guard_col)
+        violations = []
+
+        def check(region, snap):
+            version, value = gv1.read(0)
+            if version >= 0 and value is None:
+                violations.append(sim.now)
+
+        fabric.nodes[1].on_remote_write.append(check)
+
+        def proc():
+            for i in range(5):
+                yield from gv0.publish(f"payload-{i}")
+
+        sim.spawn(proc())
+        sim.run()
+        assert violations == []
+        assert gv1.read(0) == (4, "payload-4")

@@ -1,0 +1,80 @@
+"""Tests for the protocol event tracer."""
+
+import pytest
+
+from repro.analysis import Tracer
+from repro.core.config import SpindleConfig
+from repro.workloads import Cluster, continuous_sender
+
+
+def traced_cluster(count=10):
+    cluster = Cluster(3, config=SpindleConfig.optimized())
+    cluster.add_subgroup(message_size=256, window=4)
+    cluster.build()
+    tracer = Tracer(cluster)
+    tracer.attach()
+    for nid in cluster.node_ids:
+        cluster.spawn_sender(continuous_sender(
+            cluster.mc(nid, 0), count=count, size=256))
+    cluster.run_to_quiescence()
+    return cluster, tracer
+
+
+class TestTracer:
+    def test_records_writes_and_deliveries(self):
+        cluster, tracer = traced_cluster()
+        counts = tracer.counts()
+        assert counts["deliver"] == 3 * 30  # every node delivers all
+        assert counts["write"] > 0
+
+    def test_events_time_ordered(self):
+        _, tracer = traced_cluster()
+        times = [e.time for e in tracer.events]
+        assert times == sorted(times)
+
+    def test_select_filters(self):
+        _, tracer = traced_cluster()
+        node0 = tracer.select(node=0)
+        assert node0 and all(e.node == 0 for e in node0)
+        deliveries = tracer.select(kind="deliver", node=1)
+        assert len(deliveries) == 30
+        late = tracer.select(since=tracer.events[-1].time)
+        assert len(late) >= 1
+
+    def test_render_limits_output(self):
+        _, tracer = traced_cluster()
+        text = tracer.render(limit=5)
+        assert "more)" in text
+        assert len(text.splitlines()) == 6
+
+    def test_capacity_drops_beyond_limit(self):
+        cluster = Cluster(2, config=SpindleConfig.optimized())
+        cluster.add_subgroup(message_size=128, window=4)
+        cluster.build()
+        tracer = Tracer(cluster, capacity=10)
+        tracer.attach()
+        for nid in cluster.node_ids:
+            cluster.spawn_sender(continuous_sender(
+                cluster.mc(nid, 0), count=20, size=128))
+        cluster.run_to_quiescence()
+        assert len(tracer.events) == 10
+        assert tracer.dropped > 0
+        assert "dropped" in tracer.render()
+
+    def test_double_attach_rejected(self):
+        cluster = Cluster(2)
+        cluster.add_subgroup(message_size=128, window=4)
+        cluster.build()
+        tracer = Tracer(cluster)
+        tracer.attach()
+        with pytest.raises(RuntimeError, match="already attached"):
+            tracer.attach()
+
+    def test_manual_record(self):
+        cluster = Cluster(2)
+        cluster.add_subgroup(message_size=128, window=4)
+        cluster.build()
+        tracer = Tracer(cluster)
+        tracer.record(1e-6, 0, "custom", "application checkpoint")
+        assert tracer.counts() == {"custom": 1}
+        assert "checkpoint" in str(tracer.events[0])

@@ -1,0 +1,99 @@
+"""Additional coverage for the verbs facade, regions and latency model
+edge cases."""
+
+import pytest
+
+from repro.rdma import (
+    ByteRegion,
+    CellRegion,
+    LatencyModel,
+    ProtectionDomain,
+    RdmaFabric,
+    WorkRequest,
+    post_write,
+)
+from repro.sim import Simulator
+from repro.sim.units import us
+
+
+class TestLatencyModelVariants:
+    def test_tcp_preset_slower_everywhere(self):
+        rdma, tcp = LatencyModel(), LatencyModel.tcp()
+        for size in (1, 1024, 10240, 1 << 20):
+            assert tcp.wire_latency(size) > rdma.wire_latency(size)
+            assert tcp.occupancy(size) >= rdma.occupancy(size)
+        assert tcp.post_overhead > rdma.post_overhead
+
+    def test_custom_model_flows_through_fabric(self):
+        sim = Simulator()
+        model = LatencyModel(base_latency=us(100))
+        fabric = RdmaFabric(sim, latency=model)
+        a, b = fabric.add_node(), fabric.add_node()
+        src, dst = ByteRegion(8), ByteRegion(8)
+        a.register(src)
+        key = b.register(dst)
+        fabric.queue_pair(a.node_id, b.node_id).post_write(src, 0, key, 0, 1)
+        sim.run()
+        assert sim.now > us(100)
+
+
+class TestRegionEdgeCases:
+    def test_byte_region_full_span_snapshot(self):
+        r = ByteRegion(16)
+        r.write_local(0, b"0123456789abcdef")
+        snap = r.snapshot(0, 16)
+        assert snap.size_bytes == 16
+        fresh = ByteRegion(16)
+        fresh.apply_write(snap)
+        assert fresh.read(0, 16) == b"0123456789abcdef"
+
+    def test_cell_region_single_cell(self):
+        r = CellRegion([64])
+        r.write_local(0, ("tuple", "value"))
+        assert r.read(0) == ("tuple", "value")
+        assert r.total_bytes == 64
+
+    def test_cell_region_apply_partial_span(self):
+        src = CellRegion([8, 8, 8, 8])
+        dst = CellRegion([8, 8, 8, 8])
+        for i in range(4):
+            src.write_local(i, i * 10)
+        dst.apply_write(src.snapshot(1, 2))
+        assert dst.cells == [None, 10, 20, None]
+
+    def test_region_repr_names(self):
+        assert ByteRegion(8, name="buffer").name == "buffer"
+        assert CellRegion([8], name="cells").name == "cells"
+
+
+class TestVerbsCompletionOrdering:
+    def test_completions_fire_in_post_order(self):
+        sim = Simulator()
+        fabric = RdmaFabric(sim)
+        a, b = fabric.add_node(), fabric.add_node()
+        pd_a, pd_b = ProtectionDomain(fabric, a), ProtectionDomain(fabric, b)
+        mr_a = pd_a.alloc_buffer(1 << 20)
+        mr_b = pd_b.alloc_buffer(1 << 20)
+        qp = pd_a.queue_pair(b.node_id)
+        done = []
+        for i, size in enumerate((1 << 20, 64, 1 << 18)):
+            post_write(qp, WorkRequest(
+                mr_a, 0, mr_b, 0, size,
+                on_complete=lambda i=i: done.append(i)))
+        sim.run()
+        assert done == [0, 1, 2]
+
+    def test_two_pds_share_fabric(self):
+        sim = Simulator()
+        fabric = RdmaFabric(sim)
+        a, b, c = fabric.add_node(), fabric.add_node(), fabric.add_node()
+        pd_a = ProtectionDomain(fabric, a)
+        mr_a = pd_a.alloc_buffer(32)
+        mr_b = ProtectionDomain(fabric, b).alloc_buffer(32)
+        mr_c = ProtectionDomain(fabric, c).alloc_buffer(32)
+        mr_a.region.write_local(0, b"fanout")
+        post_write(pd_a.queue_pair(b.node_id), WorkRequest(mr_a, 0, mr_b, 0, 6))
+        post_write(pd_a.queue_pair(c.node_id), WorkRequest(mr_a, 0, mr_c, 0, 6))
+        sim.run()
+        assert mr_b.region.read(0, 6) == b"fanout"
+        assert mr_c.region.read(0, 6) == b"fanout"
