@@ -1,0 +1,48 @@
+"""spindle-lint: static invariant checks + runtime sanitizer.
+
+The Spindle stack rests on three invariants the paper states but code
+can silently violate (see docs/LINT.md):
+
+* **SST monotonicity** (§2.2) — counter/flag columns never regress;
+  batched acknowledgments (§3.2) and early lock release (§3.4) are
+  unsound without it.
+* **Predicate purity** (§2.4) — ``Predicate.evaluate`` is side-effect
+  free and returns ``(cpu_cost, value)``.
+* **Lock discipline** (§3.4) — when ``early_lock_release`` is on, RDMA
+  posts happen *after* the shared predicate lock is released, via the
+  deferred-posts generator returned by ``trigger``.
+
+The *static half* (:mod:`passes`, :mod:`runner`) checks these with
+stdlib-``ast`` analysis; the *runtime half* (:mod:`sanitizer`) asserts
+them on every push during simulation. Both are wired into the
+``spindle-repro lint`` CLI subcommand and the ``SPINDLE_SANITIZE=1``
+pytest fixture.
+"""
+
+from .findings import Finding, load_baseline, parse_suppressions
+from .passes import ALL_PASSES, LintPass
+from .runner import LintReport, format_report, lint_paths, lint_source
+from .sanitizer import (
+    Sanitizer,
+    SanitizerError,
+    disable_global,
+    enable_global,
+    global_sanitizer,
+)
+
+__all__ = [
+    "Finding",
+    "load_baseline",
+    "parse_suppressions",
+    "ALL_PASSES",
+    "LintPass",
+    "LintReport",
+    "format_report",
+    "lint_paths",
+    "lint_source",
+    "Sanitizer",
+    "SanitizerError",
+    "enable_global",
+    "disable_global",
+    "global_sanitizer",
+]

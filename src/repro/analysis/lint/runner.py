@@ -1,0 +1,176 @@
+"""Drive the lint passes over files/trees, apply suppressions + baseline.
+
+Entry points:
+
+* :func:`lint_source` — lint one source string (unit tests use this).
+* :func:`lint_paths`  — lint files/directories; returns a
+  :class:`LintReport` with new vs. baselined findings split out.
+* :func:`format_report` — human-readable output for the CLI.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Set
+
+from .findings import Finding, load_baseline, parse_suppressions
+from .passes import ALL_PASSES, LintPass, annotate
+
+__all__ = ["LintReport", "lint_source", "lint_paths", "iter_python_files",
+           "format_report", "DEFAULT_BASELINE_NAME"]
+
+#: Conventional checked-in baseline location (repo root).
+DEFAULT_BASELINE_NAME = ".spindle-lint-baseline"
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)      # new findings
+    baselined: List[Finding] = field(default_factory=list)     # known, ignored
+    suppressed: int = 0                                        # inline allows
+    files_scanned: int = 0
+    errors: List[str] = field(default_factory=list)            # unparsable files
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+    def merge(self, other: "LintReport") -> None:
+        self.findings.extend(other.findings)
+        self.baselined.extend(other.baselined)
+        self.suppressed += other.suppressed
+        self.files_scanned += other.files_scanned
+        self.errors.extend(other.errors)
+
+
+def _select_passes(select: Optional[Iterable[str]]) -> Sequence[LintPass]:
+    if select is None:
+        return ALL_PASSES
+    wanted = set(select)
+    chosen = [p for p in ALL_PASSES if p.name in wanted]
+    unknown = wanted - {p.name for p in ALL_PASSES}
+    if unknown:
+        raise ValueError(
+            f"unknown lint pass(es): {sorted(unknown)}; "
+            f"available: {[p.name for p in ALL_PASSES]}"
+        )
+    return chosen
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Iterable[str]] = None,
+    baseline: Optional[Set[str]] = None,
+) -> LintReport:
+    """Lint one source string; ``path`` is used in findings only."""
+    report = LintReport(files_scanned=1)
+    try:
+        module = annotate(ast.parse(source, filename=path))
+    except SyntaxError as exc:
+        report.errors.append(f"{path}: syntax error: {exc}")
+        return report
+    suppressions = parse_suppressions(source.splitlines())
+    baseline = baseline or set()
+    for lint_pass in _select_passes(select):
+        for finding in lint_pass.run(module, path):
+            allowed = suppressions.get(finding.line, set())
+            if finding.rule in allowed or "all" in allowed:
+                report.suppressed += 1
+            elif finding.fingerprint in baseline:
+                report.baselined.append(finding)
+            else:
+                report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of .py files."""
+    seen: Set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            if path not in seen:
+                seen.add(path)
+                yield path
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d not in ("__pycache__", ".git", ".ruff_cache")
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        full = os.path.join(dirpath, name)
+                        if full not in seen:
+                            seen.add(full)
+                            yield full
+        else:
+            raise FileNotFoundError(f"lint target not found: {path}")
+
+
+def _display_path(path: str, root: Optional[str]) -> str:
+    root = root or os.getcwd()
+    try:
+        rel = os.path.relpath(path, root)
+    except ValueError:  # different drive (windows)
+        rel = path
+    if rel.startswith(".."):
+        rel = path
+    return rel.replace(os.sep, "/")
+
+
+def lint_paths(
+    paths: Iterable[str],
+    select: Optional[Iterable[str]] = None,
+    baseline: Optional[Set[str]] = None,
+    baseline_path: Optional[str] = None,
+    root: Optional[str] = None,
+) -> LintReport:
+    """Lint files and/or directory trees.
+
+    ``baseline`` wins over ``baseline_path``; if neither is given, no
+    baseline is applied (callers decide whether to consult the
+    conventional ``.spindle-lint-baseline``).
+    """
+    if baseline is None and baseline_path is not None:
+        with open(baseline_path, "r", encoding="utf-8") as fh:
+            baseline = load_baseline(fh.read())
+    report = LintReport()
+    for path in iter_python_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            report.errors.append(f"{path}: {exc}")
+            report.files_scanned += 1
+            continue
+        display = _display_path(path, root)
+        file_report = lint_source(source, path=display, select=select,
+                                  baseline=baseline)
+        report.merge(file_report)
+    return report
+
+
+def format_report(report: LintReport, verbose: bool = False) -> str:
+    """Render a report the way compilers do: one finding per line, then
+    a summary."""
+    lines: List[str] = []
+    for finding in report.findings:
+        lines.append(finding.render())
+    if verbose:
+        for finding in report.baselined:
+            lines.append(f"{finding.render()}  [baselined]")
+    for error in report.errors:
+        lines.append(f"error: {error}")
+    summary = (
+        f"spindle-lint: {len(report.findings)} finding(s), "
+        f"{len(report.baselined)} baselined, {report.suppressed} "
+        f"suppressed, {report.files_scanned} file(s) scanned"
+    )
+    lines.append(summary)
+    return "\n".join(lines)

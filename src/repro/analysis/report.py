@@ -6,7 +6,7 @@ these helpers, so EXPERIMENTS.md entries can be regenerated verbatim.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Iterable, Sequence
 
 __all__ = ["format_table", "figure_banner", "gbps", "usec", "ratio"]
 

@@ -15,7 +15,7 @@ producing timelines for figures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 __all__ = ["TraceEvent", "Tracer"]
 

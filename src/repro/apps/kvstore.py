@@ -25,7 +25,7 @@ binary framing; the store's state is a plain dict per replica.
 from __future__ import annotations
 
 import struct
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..core.multicast import Delivery, SubgroupMulticast
 from ..sim.sync import Event

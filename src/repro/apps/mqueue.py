@@ -12,7 +12,7 @@ replicas agree on every assignment with zero extra messages.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Generator, List, Optional, Tuple
+from typing import Deque, Generator, List, Optional, Tuple
 
 from ..core.multicast import Delivery, SubgroupMulticast
 

@@ -8,14 +8,17 @@ Examples::
     python -m repro.cli delayed --nodes 8 --delayed 1 --delay-us 100
     python -m repro.cli rdmc --nodes 16 --size 8388608
     python -m repro.cli compare --nodes 8
+    python -m repro.cli lint src
 
-Each command prints the metrics the paper reports (GB/s averaged over
-nodes, latency, batch sizes, RDMA write counts).
+Each experiment command prints the metrics the paper reports (GB/s
+averaged over nodes, latency, batch sizes, RDMA write counts); ``lint``
+runs the spindle-lint invariant checks (docs/LINT.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -123,6 +126,38 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from .analysis.lint import format_report, lint_paths
+    from .analysis.lint.findings import format_baseline
+    from .analysis.lint.runner import DEFAULT_BASELINE_NAME
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        if os.path.exists(DEFAULT_BASELINE_NAME):
+            baseline_path = DEFAULT_BASELINE_NAME
+    if args.write_baseline:
+        baseline_path = None  # writing: start from the raw findings
+    select = args.passes.split(",") if args.passes else None
+    try:
+        report = lint_paths(args.paths, select=select,
+                            baseline_path=baseline_path)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"spindle-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = args.baseline or DEFAULT_BASELINE_NAME
+        body = format_baseline(report.findings + report.baselined)
+        with open(target, "w", encoding="utf-8") as fh:
+            fh.write(body)
+        print(f"spindle-lint: wrote {target} "
+              f"({len(report.findings) + len(report.baselined)} entries)")
+        return 0
+
+    print(format_report(report, verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
 def _add_common(parser, count=200):
     parser.add_argument("--nodes", type=int, default=8,
                         help="cluster size (paper: 2..16)")
@@ -172,6 +207,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--pattern", choices=["all", "half", "one"], default="all")
     p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the spindle-lint invariant checks (docs/LINT.md)")
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--baseline", default=None,
+                   help=f"baseline file of known findings (default: "
+                        f"./{'.spindle-lint-baseline'} if present)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore any baseline file")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="write current findings as the new baseline")
+    p.add_argument("--passes", default=None,
+                   help="comma-separated pass subset (monotonicity,"
+                        "predicate-purity,lock-discipline,sim-hygiene)")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print baselined findings")
+    p.set_defaults(fn=cmd_lint)
 
     return parser
 

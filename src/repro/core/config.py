@@ -17,10 +17,8 @@ Two dataclasses:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
-from ..rdma.latency import LatencyModel
 from ..sim.units import gb_per_s, us
 
 __all__ = ["SpindleConfig", "TimingModel"]

@@ -9,8 +9,8 @@ is needed per message.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
 
 __all__ = ["SubgroupSpec", "View"]
 

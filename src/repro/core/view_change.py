@@ -37,7 +37,7 @@ reproduction).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..predicates.framework import Predicate
 from ..sim.units import us

@@ -28,7 +28,7 @@ the quiescence behaviour described at the end of §2.4.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..core.config import SpindleConfig, TimingModel
 from ..sim.engine import Simulator

@@ -23,7 +23,7 @@ Modeling decisions (see DESIGN.md §2):
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..sim.engine import Simulator
 from .latency import LatencyModel
@@ -49,6 +49,10 @@ class RdmaNode:
         self.egress_free_at = 0.0
         #: Hooks fired when a remote write lands (used to ring doorbells).
         self.on_remote_write: List[Callable[[Region, WriteSnapshot], None]] = []
+        #: Hooks fired when this node *posts* a write, as
+        #: ``hook(queue_pair, snapshot)`` — used by the runtime sanitizer
+        #: to check §3.4 lock discipline at the lowest level.
+        self.on_post: List[Callable[["QueuePair", WriteSnapshot], None]] = []
         # -- counters ---------------------------------------------------------
         self.writes_posted = 0
         self.bytes_posted = 0
@@ -138,6 +142,8 @@ class QueuePair:
         src.bytes_posted += size
         self.writes += 1
         self.bytes += size
+        for hook in src.on_post:
+            hook(self, snap)
 
         remote_snap = WriteSnapshot(remote_offset, snap.data, size)
         if dst.alive:

@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..rdma.fabric import RdmaFabric
 from ..rdma.memory import CellRegion, Region, WriteSnapshot
-from .schedule import SCHEMES, Transfer, build_schedule, sends_by_holder
+from .schedule import SCHEMES, build_schedule, sends_by_holder
 
 __all__ = ["RdmcGroup", "RdmcSession"]
 
@@ -90,6 +90,9 @@ class RdmcSession:
         # Load the message into the sender's staging region.
         sender_region = self.regions[self.sender]
         for b in range(self.num_blocks):
+            # RDMC staging blocks are opaque payload cells, not SST
+            # counters/flags — monotonicity does not apply to them.
+            # spindle-lint: allow[sst-monotonic-write]
             sender_region.write_local(
                 b, self.block_payloads[b]
                 if self.block_payloads[b] is not None

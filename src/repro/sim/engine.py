@@ -77,6 +77,12 @@ class Simulator:
         self._processes: List[Any] = []  # live Process objects (for debugging)
         self.rng = random.Random(seed)
         self._stopped = False
+        #: The :class:`~repro.sim.process.Process` whose generator is
+        #: currently being advanced, or None when executing plain
+        #: callbacks. Maintained by Process itself; used by Lock for
+        #: owner tracking and by the runtime sanitizer to attribute RDMA
+        #: posts to the thread that issued them.
+        self.current_process: Optional[Any] = None
 
     # ------------------------------------------------------------------ time
 

@@ -23,7 +23,7 @@ in tests. A process killed with :meth:`Process.kill` simply never resumes
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Generator
 
 from .engine import SimulationError, Simulator
 from .sync import Event
@@ -74,6 +74,8 @@ class Process:
         """Advance the generator by one yield, interpreting the result."""
         if not self._alive:
             return
+        previous = self.sim.current_process
+        self.sim.current_process = self
         try:
             yielded = self._gen.send(value)
         except StopIteration as stop:
@@ -81,6 +83,8 @@ class Process:
             self.result = stop.value
             self.completion.trigger(stop.value)
             return
+        finally:
+            self.sim.current_process = previous
         self._dispatch(yielded)
 
     def _dispatch(self, yielded: Any) -> None:

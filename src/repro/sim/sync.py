@@ -8,7 +8,7 @@ always safe and same-time wakeups preserve FIFO order.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, List, Optional
+from typing import Any, Callable, Deque, List, NamedTuple, Optional
 
 __all__ = ["Event", "Doorbell", "Lock"]
 
@@ -98,8 +98,20 @@ class Doorbell:
         return len(self._waiters)
 
 
+class _Waiter(NamedTuple):
+    """A queued acquire: the wakeup event, the claiming owner, and the
+    time it started waiting. Keeping all three in ONE queue entry means
+    the wakeup order and the wait-time accounting can never desync (the
+    old design kept parallel deques that drifted apart on error paths).
+    """
+
+    event: Event
+    owner: Any
+    since: float
+
+
 class Lock:
-    """A FIFO mutex for simulated processes.
+    """A FIFO mutex for simulated processes, with owner tracking.
 
     Usage inside a process generator::
 
@@ -109,43 +121,105 @@ class Lock:
         finally:
             lock.release()
 
+    ``held_by`` records the owning :class:`~repro.sim.process.Process`
+    (defaulting to ``sim.current_process`` at acquire time) so that
+    misuse — releasing an unheld lock, or releasing somebody else's
+    lock — fails with holder/claimant context, and so the runtime
+    sanitizer can attribute RDMA posts to the lock holder (§3.4 lock
+    discipline).
+
     Contention statistics (`contended_acquires`, `wait_time`) feed the
     thread-synchronization experiments (paper §3.4).
     """
 
-    __slots__ = ("sim", "name", "locked", "_queue", "acquires",
-                 "contended_acquires", "wait_time", "_acquire_times")
+    __slots__ = ("sim", "name", "locked", "held_by", "held_since",
+                 "_queue", "acquires", "contended_acquires", "wait_time",
+                 "_last_holder")
 
     def __init__(self, sim, name: str = "lock"):
         self.sim = sim
         self.name = name
         self.locked = False
-        self._queue: Deque[Event] = deque()
+        #: Current owner (usually a Process), or None when free/unknown.
+        self.held_by: Any = None
+        #: Simulated time of the most recent ownership grant.
+        self.held_since: Optional[float] = None
+        self._queue: Deque[_Waiter] = deque()
         self.acquires = 0
         self.contended_acquires = 0
         self.wait_time = 0.0
-        self._acquire_times: Deque[float] = deque()
+        self._last_holder: Any = None
 
-    def acquire(self) -> Event:
-        """Return an event that fires once the lock is held by the caller."""
+    def acquire(self, owner: Any = None) -> Event:
+        """Return an event that fires once the lock is held by the caller.
+
+        ``owner`` defaults to the simulated process currently running
+        (``sim.current_process``); pass an explicit token when acquiring
+        from plain-callback context.
+        """
+        if owner is None:
+            owner = self.sim.current_process
         self.acquires += 1
         event = Event(self.sim, name=f"{self.name}.acquire")
         if not self.locked and not self._queue:
-            self.locked = True
+            self._grant(owner)
             event.trigger(None)
         else:
             self.contended_acquires += 1
-            self._acquire_times.append(self.sim.now)
-            self._queue.append(event)
+            self._queue.append(_Waiter(event, owner, self.sim.now))
         return event
 
-    def release(self) -> None:
-        """Release the lock, handing it to the next queued waiter (FIFO)."""
+    def release(self, owner: Any = None) -> None:
+        """Release the lock, handing it to the next queued waiter (FIFO).
+
+        ``owner`` defaults to the current simulated process. Releasing an
+        unheld lock raises; so does releasing a lock whose tracked holder
+        is a *different* process (both raise with holder/claimant context
+        — silent double releases are exactly the §3.4 bugs that stay
+        invisible until scale).
+        """
+        if owner is None:
+            owner = self.sim.current_process
         if not self.locked:
-            raise RuntimeError(f"lock {self.name!r} released while not held")
-        if self._queue:
-            event = self._queue.popleft()
-            self.wait_time += self.sim.now - self._acquire_times.popleft()
-            event.trigger(None)  # lock stays 'locked', ownership transfers
-        else:
-            self.locked = False
+            raise RuntimeError(
+                f"lock {self.name!r} released while not held "
+                f"(claimant: {self._describe(owner)}, "
+                f"last holder: {self._describe(self._last_holder)})"
+            )
+        if (owner is not None and self.held_by is not None
+                and owner is not self.held_by):
+            raise RuntimeError(
+                f"lock {self.name!r} released by non-owner "
+                f"(claimant: {self._describe(owner)}, "
+                f"holder: {self._describe(self.held_by)})"
+            )
+        while self._queue:
+            waiter = self._queue.popleft()
+            if waiter.event.triggered:
+                # Defensive: a waiter whose event was triggered out of
+                # band no longer needs the lock; skip it rather than
+                # corrupting the hand-off (and don't count its wait).
+                continue
+            self.wait_time += self.sim.now - waiter.since
+            self._grant(waiter.owner)
+            waiter.event.trigger(None)  # lock stays 'locked': ownership transfers
+            return
+        self.locked = False
+        self._last_holder = self.held_by
+        self.held_by = None
+        self.held_since = None
+
+    # ----------------------------------------------------------- internals
+
+    def _grant(self, owner: Any) -> None:
+        self.locked = True
+        self._last_holder = self.held_by if self.held_by is not None else self._last_holder
+        self.held_by = owner
+        self.held_since = self.sim.now
+
+    @staticmethod
+    def _describe(owner: Any) -> str:
+        if owner is None:
+            return "<unknown>"
+        name = getattr(owner, "name", None)
+        return repr(name) if name is not None else repr(owner)

@@ -19,7 +19,7 @@ acks one-write cheap.
 
 from __future__ import annotations
 
-from typing import Generator, Iterable, List, Optional, Sequence
+from typing import Generator, Optional, Sequence
 
 from ..sst.table import SST
 from .ring import SlotValue, ring_spans, slot_position

@@ -20,7 +20,7 @@ Terminology used throughout the multicast core:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 __all__ = ["SlotValue", "slot_position", "ring_spans", "contiguous_seq", "seq_of"]
 

@@ -22,7 +22,7 @@ Column kinds:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 __all__ = ["ColumnSpec", "SSTLayout", "COUNTER", "FLAG", "SLOT", "BLOB"]
 

@@ -50,13 +50,19 @@ class SST:
         self.rows: Dict[int, CellRegion] = {}
         for owner in self.members:
             region = CellRegion(layout.cell_sizes, name=f"sst-row{owner}@{self.node_id}")
-            region.cells = layout.initial_values()
+            # Pre-view initialization happens before any push can observe
+            # the row, so the raw fill is sound here (and only here).
+            region.cells = layout.initial_values()  # spindle-lint: allow[sst-monotonic-write]
             node.register(region)
             self.rows[owner] = region
         #: rkeys of the replicas of *my* row at each peer (set by wire_ssts).
         self._remote_row_keys: Dict[int, int] = {}
         #: Count of push operations (RDMA writes) issued through this SST.
         self.pushes_posted = 0
+        #: Observers fired as ``hook(sst, col_lo, col_hi, dst)`` after
+        #: each RDMA write posted by :meth:`push` (used by the runtime
+        #: sanitizer for lock-discipline and monotonicity checks).
+        self.on_push: List[Any] = []
 
     # ----------------------------------------------------------------- reads
 
@@ -96,7 +102,9 @@ class SST:
             old = row.read(col)
             if old and not value:
                 raise ValueError(f"flag {spec.name!r} must not reset: True -> False")
-        row.write_local(col, value)
+        # This is THE monotonic write point the lint pass funnels
+        # everyone through; the raw write below is the one sanctioned use.
+        row.write_local(col, value)  # spindle-lint: allow[sst-monotonic-write]
 
     # ----------------------------------------------------------------- push
 
@@ -128,6 +136,8 @@ class SST:
                 row, col_lo, self._remote_row_keys[dst], col_lo, col_hi - col_lo
             )
             self.pushes_posted += 1
+            for hook in self.on_push:
+                hook(self, col_lo, col_hi, dst)
 
     def push_col(self, col: int, targets: Optional[Iterable[int]] = None):
         """Push a single column of the local row."""

@@ -19,7 +19,7 @@ workload processes and collect the paper's metrics.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..core.config import SpindleConfig, TimingModel
 from ..core.group import GroupNode
@@ -209,7 +209,13 @@ class Cluster:
         return self.groups[node_id].subgroup(subgroup_id)
 
     def members_of(self, subgroup_id: int) -> Sequence[int]:
-        assert self.view is not None
+        if self.view is None:
+            # Not an assert: those vanish under `python -O`, and this is
+            # an API-misuse error we want raised in every mode.
+            raise RuntimeError(
+                "cluster has no installed view yet; call build() before "
+                "querying subgroup membership"
+            )
         return self.view.subgroups[subgroup_id].members
 
     # -------------------------------------------------------------- metrics

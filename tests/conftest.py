@@ -1,0 +1,36 @@
+"""Shared test fixtures.
+
+``SPINDLE_SANITIZE=1 pytest`` runs the whole suite with the runtime
+sanitizer active: every SST/NIC created anywhere is watched for §3.4
+lock-discipline and §2.2 monotonicity violations, which fail the test
+that caused them (docs/LINT.md).
+"""
+
+import os
+
+import pytest
+
+
+def _truthy(value):
+    return (value or "").strip().lower() in ("1", "true", "yes", "on")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def spindle_sanitizer():
+    """Session-wide runtime sanitizer, gated on SPINDLE_SANITIZE=1."""
+    if not _truthy(os.environ.get("SPINDLE_SANITIZE")):
+        yield None
+        return
+    from repro.analysis.lint.sanitizer import disable_global, enable_global
+
+    sanitizer = enable_global(strict=True)
+    try:
+        yield sanitizer
+    finally:
+        disable_global()
+
+
+def pytest_report_header(config):
+    if _truthy(os.environ.get("SPINDLE_SANITIZE")):
+        return "spindle: runtime sanitizer ACTIVE (SPINDLE_SANITIZE=1)"
+    return None

@@ -173,3 +173,202 @@ class TestLock:
         assert lock.acquires == 2
         assert lock.contended_acquires == 1
         assert lock.wait_time == pytest.approx(1.5)
+
+
+class TestEventErrorPaths:
+    def test_double_trigger_names_the_event(self):
+        sim = Simulator()
+        event = Event(sim, name="commit")
+        event.trigger("a")
+        with pytest.raises(RuntimeError, match="commit"):
+            event.trigger("b")
+
+    def test_late_waiter_gets_value_via_queue_not_synchronously(self):
+        """add_waiter after the trigger must still go through the event
+        queue (never a synchronous callback from inside add_waiter)."""
+        sim = Simulator()
+        event = Event(sim)
+        event.trigger(7)
+        got = []
+        event.add_waiter(got.append)
+        assert got == []        # nothing synchronous happened
+        sim.run()
+        assert got == [7]
+
+    def test_same_time_triggers_wake_fifo(self):
+        """Two events triggered at the same instant resume their waiters
+        in trigger order (scheduling order breaks the time tie)."""
+        sim = Simulator()
+        first, second = Event(sim, "e1"), Event(sim, "e2")
+        order = []
+
+        def waiter(tag, event):
+            yield event
+            order.append(tag)
+
+        # Register in the opposite order to the trigger order: the
+        # *trigger* order must win, proving FIFO queue semantics.
+        sim.spawn(waiter("B", second))
+        sim.spawn(waiter("A", first))
+        sim.call_after(1.0, first.trigger, None)
+        sim.call_after(1.0, second.trigger, None)
+        sim.run()
+        assert order == ["A", "B"]
+
+
+class TestDoorbellErrorPaths:
+    def test_same_time_rings_wake_waiters_in_fifo_order(self):
+        sim = Simulator()
+        bell = Doorbell(sim)
+        order = []
+
+        def poller(i):
+            yield bell.wait()
+            order.append(i)
+
+        for i in range(4):
+            sim.spawn(poller(i))
+        sim.call_after(1.0, bell.ring)
+        sim.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_ring_from_inside_a_waiter_is_safe(self):
+        """A waiter that re-rings during its wakeup must not corrupt the
+        waiter list (wakeups go through the queue, never reentrantly)."""
+        sim = Simulator()
+        bell = Doorbell(sim)
+        woke = []
+
+        def chain(i):
+            yield bell.wait()
+            woke.append(i)
+            if i == 0:
+                bell.ring()  # wake the next generation
+
+        sim.spawn(chain(0))
+        sim.call_after(0.5, sim.spawn, chain(1))
+        sim.call_after(1.0, bell.ring)
+        sim.run()
+        assert woke == [0, 1]
+
+
+class TestLockOwnership:
+    def test_held_by_tracks_the_owning_process(self):
+        sim = Simulator()
+        lock = Lock(sim, name="shared")
+        observed = []
+
+        def worker():
+            yield lock.acquire()
+            observed.append(lock.held_by)
+            yield 1.0
+            lock.release()
+            observed.append(lock.held_by)
+
+        proc = sim.spawn(worker(), name="owner-proc")
+        sim.run()
+        assert observed == [proc, None]
+        assert lock.held_since is None
+
+    def test_ownership_transfers_fifo_on_release(self):
+        sim = Simulator()
+        lock = Lock(sim)
+        holders = []
+
+        def worker():
+            yield lock.acquire()
+            holders.append(lock.held_by)
+            yield 1.0
+            lock.release()
+
+        procs = [sim.spawn(worker(), name=f"w{i}") for i in range(3)]
+        sim.run()
+        assert holders == procs
+
+    def test_release_unheld_reports_claimant_and_last_holder(self):
+        sim = Simulator()
+        lock = Lock(sim, name="shared")
+
+        def worker():
+            yield lock.acquire()
+            lock.release()
+
+        sim.spawn(worker(), name="legit")
+        sim.run()
+        with pytest.raises(RuntimeError) as exc:
+            lock.release()
+        message = str(exc.value)
+        assert "not held" in message
+        assert "legit" in message          # last holder context
+        assert "<unknown>" in message      # claimant: not a process
+
+    def test_release_by_non_owner_raises_with_both_parties(self):
+        sim = Simulator()
+        lock = Lock(sim, name="shared")
+        failures = []
+
+        def holder():
+            yield lock.acquire()
+            yield 5.0
+            lock.release()
+
+        def thief():
+            yield 1.0
+            try:
+                lock.release()
+            except RuntimeError as exc:
+                failures.append(str(exc))
+
+        sim.spawn(holder(), name="owner-proc")
+        sim.spawn(thief(), name="thief-proc")
+        sim.run()
+        (message,) = failures
+        assert "non-owner" in message
+        assert "owner-proc" in message and "thief-proc" in message
+        assert not lock.locked  # owner's release still went through
+
+    def test_explicit_owner_token_supported(self):
+        sim = Simulator()
+        lock = Lock(sim, name="shared")
+        token = object()
+        lock.acquire(owner=token)  # uncontended: grants immediately
+        assert lock.held_by is token
+        with pytest.raises(RuntimeError, match="non-owner"):
+            lock.release(owner=object())
+        lock.release(owner=token)
+        assert not lock.locked
+
+    def test_wait_time_stays_consistent_when_waiter_cancelled(self):
+        """The §3.4 accounting edge: a queued waiter whose event fires
+        out of band (error path) must be skipped on hand-off without
+        corrupting wait-time accounting or the FIFO queue."""
+        sim = Simulator()
+        lock = Lock(sim)
+        order = []
+
+        def holder():
+            yield lock.acquire()
+            yield 2.0
+            lock.release()
+
+        def doomed():
+            yield 0.5
+            event = lock.acquire()  # queued behind holder...
+            event.trigger("aborted")  # ...then dies out of band
+            yield event
+
+        def patient():
+            yield 1.0
+            yield lock.acquire()
+            order.append(sim.now)
+            lock.release()
+
+        sim.spawn(holder(), name="holder")
+        sim.spawn(doomed(), name="doomed")
+        sim.spawn(patient(), name="patient")
+        sim.run()
+        # The stale waiter was skipped: 'patient' got the lock at t=2,
+        # and only its wait (2.0 - 1.0) was accounted.
+        assert order == [2.0]
+        assert lock.wait_time == pytest.approx(1.0)
+        assert not lock.locked and lock.held_by is None
