@@ -14,6 +14,7 @@ producing timelines for figures.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -96,6 +97,20 @@ class Tracer:
             and (node is None or e.node == node)
             and e.time >= since
         ]
+
+    def fingerprint(self) -> str:
+        """A sha256 digest over the whole timeline.
+
+        Two runs with the same seed, workload, and fault schedule must
+        produce identical fingerprints — the chaos determinism tests and
+        the ``spindle-repro chaos`` CLI pin replays on this value.
+        Timestamps are rendered with ``repr`` so the digest is exact,
+        not rounded.
+        """
+        h = hashlib.sha256()
+        for e in self.events:
+            h.update(f"{e.time!r}|{e.node}|{e.kind}|{e.detail}\n".encode())
+        return h.hexdigest()
 
     def counts(self) -> Dict[str, int]:
         """Event counts by kind."""

@@ -126,6 +126,98 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run named chaos scenarios (docs/FAULTS.md) across a seed sweep."""
+    import json
+
+    from .faults.scenarios import SCENARIOS, run_scenario
+
+    if args.list:
+        rows = [[name, (fn.__doc__ or "").strip().split("\n")[0]]
+                for name, fn in SCENARIOS.items()]
+        print(format_table(["scenario", "description"], rows))
+        return 0
+
+    if args.scenario:
+        unknown = [s for s in args.scenario if s not in SCENARIOS]
+        if unknown:
+            print(f"chaos: unknown scenario(s): {', '.join(unknown)} "
+                  f"(try --list)", file=sys.stderr)
+            return 2
+        names = args.scenario
+    elif args.all:
+        names = list(SCENARIOS)
+    else:
+        print("chaos: pick --scenario NAME (repeatable), --all, or --list",
+              file=sys.stderr)
+        return 2
+
+    sanitize = (os.environ.get("SPINDLE_SANITIZE", "").strip().lower()
+                in ("1", "true", "yes", "on")) or args.sanitize
+    sanitizer = None
+    if sanitize:
+        from .analysis.lint.sanitizer import enable_global
+
+        sanitizer = enable_global(strict=True)
+
+    seeds = list(range(args.seed, args.seed + args.sweep))
+    rows = []
+    failures = []
+    for name in names:
+        for seed in seeds:
+            runs = [run_scenario(name, seed)
+                    for _ in range(max(1, args.repeat))]
+            result = runs[0]
+            replay_ok = all(
+                r.log_digest == result.log_digest
+                and r.trace_fingerprint == result.trace_fingerprint
+                for r in runs[1:]
+            )
+            problems = list(result.problems)
+            if not replay_ok:
+                problems.append("replay diverged: same seed + schedule "
+                                "produced different logs")
+            ok = result.ok and replay_ok
+            rows.append([
+                name, str(seed), "ok" if ok else "FAIL",
+                str(sum(result.delivered.values())),
+                result.log_digest[:12],
+                "; ".join(problems) if problems else "-",
+            ])
+            if not ok:
+                failures.append((name, seed, result, problems))
+            if args.json:
+                payload = result.to_dict()
+                payload["replay_ok"] = replay_ok
+                print(json.dumps(payload, sort_keys=True))
+
+    if not args.json:
+        print(format_table(
+            ["scenario", "seed", "status", "delivered", "log digest",
+             "problems"], rows))
+        if sanitizer is not None:
+            print(sanitizer.report().splitlines()[0])
+
+    if failures and args.artifact_dir:
+        os.makedirs(args.artifact_dir, exist_ok=True)
+        for name, seed, result, problems in failures:
+            path = os.path.join(args.artifact_dir,
+                                f"chaos-{name}-seed{seed}.json")
+            artifact = result.to_dict()
+            artifact["problems"] = problems
+            artifact["replay_cmd"] = (
+                f"spindle-repro chaos --scenario {name} --seed {seed}")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(artifact, fh, indent=2, sort_keys=True)
+            print(f"chaos: wrote failure artifact {path}", file=sys.stderr)
+
+    if failures:
+        print(f"chaos: {len(failures)} failing (scenario, seed) pair(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_lint(args) -> int:
     from .analysis.lint import format_report, lint_paths
     from .analysis.lint.findings import format_baseline
@@ -207,6 +299,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--pattern", choices=["all", "half", "one"], default="all")
     p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run seeded chaos scenarios against the fault plane "
+             "(docs/FAULTS.md)")
+    p.add_argument("--scenario", action="append", default=None,
+                   help="scenario name (repeatable; see --list)")
+    p.add_argument("--all", action="store_true",
+                   help="run the whole scenario catalog")
+    p.add_argument("--list", action="store_true",
+                   help="list known scenarios and exit")
+    p.add_argument("--seed", type=int, default=0,
+                   help="first seed of the sweep (default 0)")
+    p.add_argument("--sweep", type=int, default=1,
+                   help="how many consecutive seeds to run (default 1)")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="runs per (scenario, seed); >1 additionally "
+                        "checks byte-identical replay")
+    p.add_argument("--sanitize", action="store_true",
+                   help="enable the runtime sanitizer (also via "
+                        "SPINDLE_SANITIZE=1)")
+    p.add_argument("--json", action="store_true",
+                   help="print one JSON result object per run")
+    p.add_argument("--artifact-dir", default=None,
+                   help="write failing-run artifacts (seed + schedule "
+                        "JSON) here for CI upload")
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser(
         "lint",

@@ -124,12 +124,13 @@ class GroupNode:
         if membership_params is not None:
             from .view_change import MembershipService
 
-            heartbeat_period, suspicion_timeout = membership_params
-            self.membership = MembershipService(
-                self, membership_cols,
-                heartbeat_period=heartbeat_period,
-                suspicion_timeout=suspicion_timeout,
-            )
+            if isinstance(membership_params, dict):
+                kwargs = dict(membership_params)
+            else:  # legacy (heartbeat_period, suspicion_timeout) tuple
+                heartbeat_period, suspicion_timeout = membership_params
+                kwargs = dict(heartbeat_period=heartbeat_period,
+                              suspicion_timeout=suspicion_timeout)
+            self.membership = MembershipService(self, membership_cols, **kwargs)
 
         rdma_node.on_remote_write.append(self._on_remote_write)
 

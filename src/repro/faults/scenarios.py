@@ -1,0 +1,332 @@
+"""Named chaos scenarios: seeded fault campaigns with built-in checks.
+
+Each scenario builds a cluster, arms a :class:`FaultSchedule` through the
+cluster's :class:`~repro.faults.plane.FaultPlane`, runs a workload, and
+returns a :class:`ScenarioResult` whose ``ok``/``problems`` fields encode
+the protocol invariants the run must uphold (identical survivor delivery
+logs, view agreement, quiescence, minority stall — docs/FAULTS.md).
+
+Everything is deterministic in ``(scenario, seed)``: the cluster seed,
+the schedule seed, and the fault plane's RNG all derive from the one
+``seed`` argument, so ``run_scenario(name, seed)`` executed twice yields
+byte-identical delivery logs and trace fingerprints — that property is
+pinned by tests/test_chaos_determinism.py and re-checked on every
+``spindle-repro chaos`` invocation via ``--repeat``.
+
+    from repro.faults.scenarios import run_scenario, SCENARIOS
+    result = run_scenario("partition-heal", seed=7)
+    assert result.ok, result.problems
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..sim.units import ms, us
+
+__all__ = ["ScenarioResult", "SCENARIOS", "run_scenario", "scenario_names"]
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one chaos scenario run (JSON-friendly via ``to_dict``)."""
+
+    name: str
+    seed: int
+    ok: bool
+    problems: List[str]
+    duration: float
+    delivered: Dict[int, int]
+    #: sha256 over every node's ordered delivery log — the replay pin.
+    log_digest: str
+    #: sha256 over the full protocol event timeline (Tracer.fingerprint).
+    trace_fingerprint: str
+    drops_by_reason: Dict[str, int]
+    fault_counters: Dict[str, int]
+    #: node -> list of installed successor-view member tuples.
+    views: Dict[int, List[Tuple[int, ...]]]
+    schedule_json: str
+    notes: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "ok": self.ok,
+            "problems": self.problems,
+            "duration": self.duration,
+            "delivered": {str(k): v for k, v in self.delivered.items()},
+            "log_digest": self.log_digest,
+            "trace_fingerprint": self.trace_fingerprint,
+            "drops_by_reason": self.drops_by_reason,
+            "fault_counters": self.fault_counters,
+            "views": {str(k): [list(m) for m in v]
+                      for k, v in self.views.items()},
+            "schedule_json": self.schedule_json,
+            "notes": self.notes,
+        }
+
+
+class _Harness:
+    """Shared scenario scaffolding: cluster + logs + views + tracer."""
+
+    def __init__(self, num_nodes: int, seed: int, *,
+                 membership: Optional[dict] = None,
+                 count: int = 0, size: int = 512, window: int = 10):
+        from ..analysis.trace import Tracer
+        from ..core.config import SpindleConfig
+        from ..workloads import Cluster, continuous_sender
+
+        self.cluster = Cluster(num_nodes=num_nodes,
+                               config=SpindleConfig.optimized(), seed=seed)
+        self.cluster.add_subgroup(message_size=size, window=window)
+        if membership is not None:
+            self.cluster.enable_membership(**membership)
+        self.cluster.build()
+        self.logs: Dict[int, List[tuple]] = {
+            nid: [] for nid in self.cluster.node_ids}
+        self.views: Dict[int, List[Tuple[int, ...]]] = {
+            nid: [] for nid in self.cluster.node_ids}
+        for nid in self.cluster.node_ids:
+            self.cluster.group(nid).on_delivery(
+                0, lambda d, nid=nid: self.logs[nid].append(
+                    (d.seq, d.sender, d.size)))
+            if membership is not None:
+                self.cluster.group(nid).membership.on_new_view.append(
+                    lambda v, nid=nid: self.views[nid].append(v.members))
+        self.tracer = Tracer(self.cluster)
+        self.tracer.attach()
+        if count:
+            for nid in self.cluster.node_ids:
+                self.cluster.spawn_sender(continuous_sender(
+                    self.cluster.mc(nid, 0), count=count, size=size))
+        self.count = count
+        self.size = size
+
+    # ------------------------------------------------------------- reporting
+
+    def log_digest(self) -> str:
+        h = hashlib.sha256()
+        for nid in sorted(self.logs):
+            h.update(f"node {nid}:{self.logs[nid]!r}\n".encode())
+        return h.hexdigest()
+
+    def result(self, name: str, seed: int, problems: List[str],
+               notes: Optional[List[str]] = None) -> ScenarioResult:
+        cluster = self.cluster
+        return ScenarioResult(
+            name=name, seed=seed, ok=not problems, problems=problems,
+            duration=cluster.sim.now,
+            delivered={nid: len(log) for nid, log in self.logs.items()},
+            log_digest=self.log_digest(),
+            trace_fingerprint=self.tracer.fingerprint(),
+            drops_by_reason=cluster.fabric.drops_by_reason(),
+            fault_counters=cluster.faults.counters(),
+            views=dict(self.views),
+            schedule_json=cluster.faults.schedule.to_json(),
+            notes=notes or [],
+        )
+
+    # --------------------------------------------------------------- checks
+
+    def check_all_delivered(self, problems: List[str],
+                            nodes: Optional[List[int]] = None,
+                            expected: Optional[int] = None) -> None:
+        nodes = nodes if nodes is not None else list(self.cluster.node_ids)
+        expected = (expected if expected is not None
+                    else self.count * len(self.cluster.node_ids))
+        for nid in nodes:
+            if len(self.logs[nid]) != expected:
+                problems.append(
+                    f"node {nid} delivered {len(self.logs[nid])}/{expected}")
+
+    def check_logs_identical(self, problems: List[str],
+                             nodes: List[int]) -> None:
+        reference = self.logs[nodes[0]]
+        for nid in nodes[1:]:
+            if self.logs[nid] != reference:
+                problems.append(
+                    f"delivery logs diverge: node {nodes[0]} vs node {nid} "
+                    f"({len(reference)} vs {len(self.logs[nid])} entries)")
+
+    def check_views(self, problems: List[str], nodes: List[int],
+                    expected_members: Tuple[int, ...]) -> None:
+        for nid in nodes:
+            if not self.views[nid]:
+                problems.append(f"node {nid} installed no successor view")
+            elif self.views[nid][-1] != expected_members:
+                problems.append(
+                    f"node {nid} installed view {self.views[nid][-1]}, "
+                    f"expected {expected_members}")
+
+    def check_no_view_change(self, problems: List[str]) -> None:
+        for nid, installed in self.views.items():
+            if installed:
+                problems.append(
+                    f"node {nid} installed unexpected view {installed[-1]}")
+
+
+# ===========================================================================
+# The catalog
+# ===========================================================================
+
+
+def scenario_partition_heal(seed: int) -> ScenarioResult:
+    """Transient symmetric partition that heals inside the confirmation
+    grace window: RC-buffered writes redeliver, local suspicions rescind
+    (false alarms, no published flags), no view change, and every node
+    still delivers every message in the same order."""
+    h = _Harness(4, seed, count=60, membership=dict(
+        heartbeat_period=us(100), suspicion_timeout=us(500),
+        confirmation_grace=us(600)))
+    h.cluster.faults.partition([[0, 1], [2, 3]],
+                               at=ms(1), heal_at=ms(1.8), mode="buffer")
+    h.cluster.run(until=ms(60))
+    problems: List[str] = []
+    h.check_no_view_change(problems)
+    h.check_all_delivered(problems)
+    h.check_logs_identical(problems, list(h.cluster.node_ids))
+    if h.cluster.faults.heals != 1:
+        problems.append("partition never healed")
+    if h.cluster.faults.writes_redelivered == 0:
+        problems.append("no writes were buffered across the cut")
+    alarms = sum(
+        sum(h.cluster.group(n).membership.false_alarms.values())
+        for n in h.cluster.node_ids)
+    notes = [f"false alarms rescinded: {alarms}",
+             f"writes redelivered: {h.cluster.faults.writes_redelivered}"]
+    return h.result("partition-heal", seed, problems, notes)
+
+
+def scenario_partition_majority(seed: int) -> ScenarioResult:
+    """Hard partition (retry budget exhausted, mode='drop') that never
+    heals: the majority side confirms its suspicions and installs a
+    successor view excluding the minority; the minority wedges and
+    stalls (no quorum) instead of electing a split-brain view."""
+    h = _Harness(5, seed, count=40, membership=dict(
+        heartbeat_period=us(100), suspicion_timeout=us(500),
+        confirmation_grace=us(500)))
+    h.cluster.faults.partition([[0, 1, 2], [3, 4]], at=ms(1), mode="drop")
+    h.cluster.run(until=ms(60))
+    problems: List[str] = []
+    h.check_views(problems, [0, 1, 2], (0, 1, 2))
+    h.check_logs_identical(problems, [0, 1, 2])
+    for nid in (3, 4):
+        svc = h.cluster.group(nid).membership
+        if h.views[nid]:
+            problems.append(f"minority node {nid} installed a view "
+                            f"(split brain): {h.views[nid][-1]}")
+        if not svc.minority_stalled:
+            problems.append(f"minority node {nid} is not stalled "
+                            f"(wedged={svc.wedged})")
+    drops = h.cluster.fabric.drops_by_reason()
+    if drops.get("partition", 0) == 0:
+        problems.append("no writes were dropped by the partition")
+    return h.result("partition-majority", seed, problems)
+
+
+def scenario_jitter_storm(seed: int) -> ScenarioResult:
+    """Cluster-wide latency degradation (extra latency + uniform jitter
+    on every link) while all nodes stream: atomic multicast must still
+    deliver everything, identically ordered, and the run must quiesce."""
+    h = _Harness(4, seed, count=80)
+    h.cluster.faults.jitter(until=ms(20), extra_latency=us(2),
+                            jitter=us(6), at=0.0)
+    try:
+        h.cluster.run_to_quiescence(max_time=2.0)
+    except RuntimeError as exc:
+        h.cluster.run()
+        return h.result("jitter-storm", seed, [f"no quiescence: {exc}"])
+    problems: List[str] = []
+    h.check_all_delivered(problems)
+    h.check_logs_identical(problems, list(h.cluster.node_ids))
+    return h.result("jitter-storm", seed, problems)
+
+
+def scenario_sender_stall(seed: int) -> ScenarioResult:
+    """GC-like hiccup: one node's whole protocol engine (predicate
+    thread + failure detector) freezes for 800 us mid-stream. Its
+    heartbeat goes stale past the suspicion timeout but resumes inside
+    the grace window, so the suspicion is rescinded (with backoff) and
+    the workload completes with no view change."""
+    h = _Harness(4, seed, count=60, membership=dict(
+        heartbeat_period=us(100), suspicion_timeout=us(500),
+        confirmation_grace=us(700)))
+    h.cluster.faults.stall(2, duration=us(800), at=ms(1), scope="node")
+    h.cluster.faults.stall(2, duration=us(400), at=ms(4),
+                           scope="predicate")
+    h.cluster.run(until=ms(60))
+    problems: List[str] = []
+    h.check_no_view_change(problems)
+    h.check_all_delivered(problems)
+    h.check_logs_identical(problems, list(h.cluster.node_ids))
+    counters = h.cluster.faults.counters()
+    if counters["stalls_finished"] != 2:
+        problems.append(f"expected 2 finished stalls, "
+                        f"got {counters['stalls_finished']}")
+    return h.result("sender-stall", seed, problems)
+
+
+def scenario_leader_crash(seed: int) -> ScenarioResult:
+    """Crash the rank-0 leader mid-stream: survivors detect, wedge,
+    ragged-trim, and the next live member leads the reconfiguration.
+    Every survivor installs the same successor view and holds an
+    identical delivery log (virtual synchrony)."""
+    h = _Harness(4, seed, count=150, window=8, membership=dict(
+        heartbeat_period=us(100), suspicion_timeout=us(500)))
+    h.cluster.faults.crash(0, at=ms(1))
+    h.cluster.run(until=ms(80))
+    problems: List[str] = []
+    h.check_views(problems, [1, 2, 3], (1, 2, 3))
+    h.check_logs_identical(problems, [1, 2, 3])
+    if h.cluster.faults.crashes != 1:
+        problems.append("crash event did not fire")
+    return h.result("leader-crash", seed, problems)
+
+
+def scenario_crash_restart(seed: int) -> ScenarioResult:
+    """Crash a node and revive its NIC later: the old view has already
+    reconfigured around it (protocol re-admission happens at an epoch
+    boundary, docs/FAULTS.md), so the restart must not perturb the
+    survivors' agreement — it only flips the NIC back to alive."""
+    h = _Harness(4, seed, count=100, window=8, membership=dict(
+        heartbeat_period=us(100), suspicion_timeout=us(500)))
+    h.cluster.faults.crash(3, at=ms(1), restart_at=ms(40))
+    h.cluster.run(until=ms(80))
+    problems: List[str] = []
+    h.check_views(problems, [0, 1, 2], (0, 1, 2))
+    h.check_logs_identical(problems, [0, 1, 2])
+    counters = h.cluster.faults.counters()
+    if counters["restarts"] != 1:
+        problems.append("restart event did not fire")
+    if not h.cluster.fabric.nodes[3].alive:
+        problems.append("node 3's NIC was not revived")
+    return h.result("crash-restart", seed, problems)
+
+
+#: name -> scenario function. Ordering is the CLI's ``--all`` ordering.
+SCENARIOS: Dict[str, Callable[[int], ScenarioResult]] = {
+    "partition-heal": scenario_partition_heal,
+    "partition-majority": scenario_partition_majority,
+    "jitter-storm": scenario_jitter_storm,
+    "sender-stall": scenario_sender_stall,
+    "leader-crash": scenario_leader_crash,
+    "crash-restart": scenario_crash_restart,
+}
+
+
+def scenario_names() -> List[str]:
+    return list(SCENARIOS)
+
+
+def run_scenario(name: str, seed: int = 0) -> ScenarioResult:
+    """Run one named scenario; raises ``KeyError`` on unknown names."""
+    try:
+        fn = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(SCENARIOS)}"
+        ) from None
+    return fn(seed)

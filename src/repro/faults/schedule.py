@@ -1,0 +1,268 @@
+"""Declarative fault schedules: validated events + exact-replay JSON.
+
+A :class:`FaultSchedule` is a seed plus an ordered list of fault events.
+Serializing it to JSON and replaying against the same cluster seed
+reproduces the run byte-for-byte (the determinism regression test in
+tests/test_chaos_determinism.py pins this): the schedule carries *all*
+the randomness the fault plane consumes — jitter samples and loss coin
+flips come from ``random.Random(schedule.seed)``, never from the wall
+clock or the simulator's own RNG.
+
+Schema (version 1)::
+
+    {"version": 1, "seed": 7, "events": [
+      {"kind": "partition", "at": 1e-3, "heal_at": 2e-3,
+       "groups": [[0, 1, 2], [3, 4]], "mode": "buffer"},
+      {"kind": "sever", "at": 1e-3, "heal_at": null,
+       "src": [0], "dst": [3], "mode": "drop"},
+      {"kind": "jitter", "at": 0.0, "until": 5e-3, "extra_latency": 2e-6,
+       "jitter": 5e-6, "loss": 0.0, "links": [[0, 1]]},
+      {"kind": "stall", "at": 1e-3, "node": 2, "duration": 3e-4,
+       "scope": "node"},
+      {"kind": "crash", "at": 1e-3, "node": 3, "restart_at": 5e-3}
+    ]}
+
+``mode`` for cuts: ``"buffer"`` (default) models RC retransmit across a
+transient cut — writes posted into the cut are held and redelivered in
+per-QP order at heal time; ``"drop"`` models a hard cut (retry budget
+exhausted, QP broken): the writes are gone, tagged
+``partition`` in ``writes_dropped_by_reason``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "FaultSchedule",
+    "PartitionEvent",
+    "SeverEvent",
+    "JitterEvent",
+    "StallEvent",
+    "CrashEvent",
+    "SCHEMA_VERSION",
+]
+
+SCHEMA_VERSION = 1
+
+#: Cut modes: RC-retransmit buffering vs. hard loss.
+CUT_MODES = ("buffer", "drop")
+#: Stall scopes: just the predicate thread, or every protocol thread of
+#: the node (predicate thread + failure detector), a full GC-like freeze.
+STALL_SCOPES = ("predicate", "node")
+
+
+def _check_time(name: str, value: float) -> None:
+    if not isinstance(value, (int, float)) or value < 0:
+        raise ValueError(f"{name} must be a non-negative time, got {value!r}")
+
+
+def _check_nodes(name: str, nodes) -> Tuple[int, ...]:
+    nodes = tuple(int(n) for n in nodes)
+    if not nodes:
+        raise ValueError(f"{name} must name at least one node")
+    if len(set(nodes)) != len(nodes):
+        raise ValueError(f"duplicate nodes in {name}: {nodes}")
+    return nodes
+
+
+@dataclass(frozen=True)
+class PartitionEvent:
+    """Symmetric partition: traffic between different groups is cut in
+    both directions from ``at`` until ``heal_at`` (None = never heals)."""
+
+    at: float
+    groups: Tuple[Tuple[int, ...], ...]
+    heal_at: Optional[float] = None
+    mode: str = "buffer"
+    kind: str = field(default="partition", init=False)
+
+    def __post_init__(self):
+        _check_time("at", self.at)
+        groups = tuple(_check_nodes("partition group", g) for g in self.groups)
+        if len(groups) < 2:
+            raise ValueError("a partition needs at least two groups")
+        seen = set()
+        for g in groups:
+            overlap = seen & set(g)
+            if overlap:
+                raise ValueError(f"partition groups overlap on {sorted(overlap)}")
+            seen |= set(g)
+        object.__setattr__(self, "groups", groups)
+        if self.heal_at is not None and self.heal_at <= self.at:
+            raise ValueError("heal_at must be after at")
+        if self.mode not in CUT_MODES:
+            raise ValueError(f"unknown cut mode {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class SeverEvent:
+    """Asymmetric cut: writes from ``src`` nodes to ``dst`` nodes are cut
+    (the reverse direction still flows) from ``at`` until ``heal_at``."""
+
+    at: float
+    src: Tuple[int, ...]
+    dst: Tuple[int, ...]
+    heal_at: Optional[float] = None
+    mode: str = "buffer"
+    kind: str = field(default="sever", init=False)
+
+    def __post_init__(self):
+        _check_time("at", self.at)
+        object.__setattr__(self, "src", _check_nodes("src", self.src))
+        object.__setattr__(self, "dst", _check_nodes("dst", self.dst))
+        if set(self.src) & set(self.dst):
+            raise ValueError("sever src and dst overlap")
+        if self.heal_at is not None and self.heal_at <= self.at:
+            raise ValueError("heal_at must be after at")
+        if self.mode not in CUT_MODES:
+            raise ValueError(f"unknown cut mode {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class JitterEvent:
+    """Link degradation window: from ``at`` to ``until`` every matching
+    write gains ``extra_latency`` plus uniform ``[0, jitter)`` seconds,
+    and is lost with probability ``loss`` (reason ``injected-loss``).
+
+    ``links`` restricts the window to specific directed (src, dst)
+    pairs; None means every link on the fabric.
+    """
+
+    at: float
+    until: float
+    extra_latency: float = 0.0
+    jitter: float = 0.0
+    loss: float = 0.0
+    links: Optional[Tuple[Tuple[int, int], ...]] = None
+    kind: str = field(default="jitter", init=False)
+
+    def __post_init__(self):
+        _check_time("at", self.at)
+        _check_time("until", self.until)
+        if self.until <= self.at:
+            raise ValueError("until must be after at")
+        if self.extra_latency < 0 or self.jitter < 0:
+            raise ValueError("latency additions must be non-negative")
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError("loss must be a probability in [0, 1)")
+        if self.extra_latency == 0 and self.jitter == 0 and self.loss == 0:
+            raise ValueError("jitter window injects nothing")
+        if self.links is not None:
+            links = tuple((int(s), int(d)) for s, d in self.links)
+            if not links:
+                raise ValueError("links must be None or non-empty")
+            for s, d in links:
+                if s == d:
+                    raise ValueError(f"loopback link ({s}, {d}) in jitter window")
+            object.__setattr__(self, "links", links)
+
+
+@dataclass(frozen=True)
+class StallEvent:
+    """GC-like hiccup: freeze a node's protocol thread(s) for
+    ``duration`` seconds starting at ``at``.
+
+    ``scope="predicate"`` freezes only the predicate/polling thread;
+    ``scope="node"`` also freezes the failure detector — a full
+    stop-the-world pause of the node's protocol engine.
+    """
+
+    at: float
+    node: int
+    duration: float
+    scope: str = "predicate"
+    kind: str = field(default="stall", init=False)
+
+    def __post_init__(self):
+        _check_time("at", self.at)
+        if self.duration <= 0:
+            raise ValueError("stall duration must be positive")
+        if self.scope not in STALL_SCOPES:
+            raise ValueError(f"unknown stall scope {self.scope!r}")
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Crash-stop a node at ``at``; optionally bring its NIC back at
+    ``restart_at`` (protocol re-admission still happens at an epoch
+    boundary via ``Cluster.install_view`` — see docs/FAULTS.md)."""
+
+    at: float
+    node: int
+    restart_at: Optional[float] = None
+    kind: str = field(default="crash", init=False)
+
+    def __post_init__(self):
+        _check_time("at", self.at)
+        if self.restart_at is not None and self.restart_at <= self.at:
+            raise ValueError("restart_at must be after at")
+
+
+_EVENT_TYPES = {
+    "partition": PartitionEvent,
+    "sever": SeverEvent,
+    "jitter": JitterEvent,
+    "stall": StallEvent,
+    "crash": CrashEvent,
+}
+
+FaultEvent = Any  # union of the five event dataclasses (3.9-compatible alias)
+
+
+@dataclass
+class FaultSchedule:
+    """A seed plus an ordered list of fault events; JSON round-trippable."""
+
+    seed: int = 0
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def add(self, event: FaultEvent) -> "FaultSchedule":
+        """Append a validated event (chainable)."""
+        if type(event) not in _EVENT_TYPES.values():
+            raise TypeError(f"not a fault event: {event!r}")
+        self.events.append(event)
+        return self
+
+    # ------------------------------------------------------------- serialize
+
+    def to_dict(self) -> Dict[str, Any]:
+        events = []
+        for event in self.events:
+            d = asdict(event)
+            d["kind"] = event.kind
+            events.append(d)
+        return {"version": SCHEMA_VERSION, "seed": self.seed, "events": events}
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSchedule":
+        version = data.get("version", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise ValueError(f"unsupported schedule version {version!r}")
+        schedule = cls(seed=int(data.get("seed", 0)))
+        for entry in data.get("events", []):
+            entry = dict(entry)
+            kind = entry.pop("kind", None)
+            event_cls = _EVENT_TYPES.get(kind)
+            if event_cls is None:
+                raise ValueError(f"unknown fault event kind {kind!r}")
+            # JSON turns tuples into lists; the dataclass validators
+            # normalize node containers back to tuples.
+            if "links" in entry and entry["links"] is not None:
+                entry["links"] = tuple(tuple(link) for link in entry["links"])
+            if "groups" in entry:
+                entry["groups"] = tuple(tuple(g) for g in entry["groups"])
+            schedule.add(event_cls(**entry))
+        return schedule
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        return cls.from_dict(json.loads(text))
+
+    def __len__(self) -> int:
+        return len(self.events)

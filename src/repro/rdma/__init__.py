@@ -10,7 +10,7 @@ serialization at 12.5 GB/s.
 from .fabric import RdmaFabric
 from .latency import LatencyModel
 from .memory import ByteRegion, CellRegion, Region, WriteSnapshot
-from .nic import QueuePair, RdmaNode
+from .nic import FaultDecision, QueuePair, RdmaNode
 from .verbs import MemoryRegionHandle, ProtectionDomain, WorkRequest, post_write
 
 __all__ = [
@@ -22,6 +22,7 @@ __all__ = [
     "WriteSnapshot",
     "QueuePair",
     "RdmaNode",
+    "FaultDecision",
     "MemoryRegionHandle",
     "ProtectionDomain",
     "WorkRequest",

@@ -70,3 +70,16 @@ class RdmaFabric:
     def total_bytes_posted(self) -> int:
         """Sum of bytes posted by all nodes."""
         return sum(n.bytes_posted for n in self.nodes.values())
+
+    def total_writes_dropped(self) -> int:
+        """Sum of lost writes across all nodes (any reason)."""
+        return sum(n.writes_dropped for n in self.nodes.values())
+
+    def drops_by_reason(self) -> Dict[str, int]:
+        """Fabric-wide breakdown of lost writes by reason code
+        (see :mod:`repro.rdma.nic` for the code list)."""
+        out: Dict[str, int] = {}
+        for node in self.nodes.values():
+            for reason, count in node.writes_dropped_by_reason.items():
+                out[reason] = out.get(reason, 0) + count
+        return out

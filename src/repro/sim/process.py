@@ -19,6 +19,12 @@ Exceptions raised inside a process propagate out of ``Simulator.run`` —
 a crashing process crashes the simulation, which is the behaviour we want
 in tests. A process killed with :meth:`Process.kill` simply never resumes
 (used for failure injection at the node level).
+
+A process may also be *suspended* (:meth:`Process.suspend`): its next
+resumption — timer expiry, event trigger, join — is deferred until
+:meth:`Process.resume`. This models GC-like hiccups and scheduler
+stalls for the fault-injection plane (docs/FAULTS.md): the thread is
+frozen mid-flight without losing the value it was waiting for.
 """
 
 from __future__ import annotations
@@ -38,7 +44,8 @@ class Process:
     with the generator's return value when it finishes.
     """
 
-    __slots__ = ("sim", "name", "_gen", "_alive", "result", "completion")
+    __slots__ = ("sim", "name", "_gen", "_alive", "result", "completion",
+                 "_suspended", "_deferred")
 
     def __init__(self, sim: Simulator, gen: Generator[Any, Any, Any], name: str = "proc"):
         if not hasattr(gen, "send"):
@@ -47,6 +54,10 @@ class Process:
         self.name = name
         self._gen = gen
         self._alive = True
+        self._suspended = False
+        #: Resumption deferred while suspended: a 1-tuple holding the
+        #: value the generator should be sent on resume (None = none).
+        self._deferred = None
         self.result: Any = None
         self.completion = Event(sim, name=f"{name}.completion")
         sim.call_after(0.0, self._step, None)
@@ -58,6 +69,11 @@ class Process:
         """True while the process can still run."""
         return self._alive
 
+    @property
+    def suspended(self) -> bool:
+        """True while the process is frozen by :meth:`suspend`."""
+        return self._suspended
+
     def kill(self) -> None:
         """Stop the process permanently; it will never be resumed.
 
@@ -66,13 +82,44 @@ class Process:
         """
         if self._alive:
             self._alive = False
+            self._deferred = None
             self._gen.close()
+
+    # ------------------------------------------------------------ suspension
+
+    def suspend(self) -> None:
+        """Freeze the process: its next resumption is deferred.
+
+        A process has at most one outstanding resumption (it waits on
+        exactly one timer/event at a time), so deferral needs only a
+        single slot. Idempotent; a dead process cannot be suspended.
+        """
+        if self._alive:
+            self._suspended = True
+
+    def resume(self) -> None:
+        """Unfreeze a suspended process.
+
+        If a resumption arrived while frozen, it is re-scheduled *now*
+        (the stall extends the wait, exactly like a real descheduled
+        thread). No-op if the process was not suspended or is dead.
+        """
+        if not self._suspended:
+            return
+        self._suspended = False
+        if self._deferred is not None and self._alive:
+            (value,) = self._deferred
+            self._deferred = None
+            self.sim.call_after(0.0, self._step, value)
 
     # ------------------------------------------------------------- execution
 
     def _step(self, value: Any) -> None:
         """Advance the generator by one yield, interpreting the result."""
         if not self._alive:
+            return
+        if self._suspended:
+            self._deferred = (value,)
             return
         previous = self.sim.current_process
         self.sim.current_process = self

@@ -49,6 +49,7 @@ class Cluster:
     ):
         if num_nodes < 1:
             raise ValueError("cluster needs at least one node")
+        self.seed = seed
         self.sim = Simulator(seed=seed)
         self.fabric = RdmaFabric(self.sim, latency=latency)
         self.config = config if config is not None else SpindleConfig.optimized()
@@ -60,7 +61,8 @@ class Cluster:
         self.groups: Dict[int, GroupNode] = {}
         self.view: Optional[View] = None
         self._built = False
-        self._membership_params: Optional[tuple] = None
+        self._membership_params: Optional[dict] = None
+        self._faults = None
 
     # ---------------------------------------------------------------- setup
 
@@ -90,14 +92,27 @@ class Cluster:
         return spec
 
     def enable_membership(self, heartbeat_period: float = 100e-6,
-                          suspicion_timeout: float = 500e-6) -> None:
+                          suspicion_timeout: float = 500e-6,
+                          confirmation_grace: Optional[float] = None,
+                          suspicion_backoff: float = 2.0) -> None:
         """Turn on failure detection + view changes (before build).
 
         Off by default: the performance experiments measure failure-free
-        epochs, as the paper does."""
+        epochs, as the paper does. ``confirmation_grace`` (default: one
+        ``suspicion_timeout``) is how long a stale peer stays *locally*
+        suspected before the (irreversible) suspicion is published —
+        partitions that heal inside the grace window cause no view
+        change; ``suspicion_backoff`` multiplies a member's effective
+        timeout after each rescinded suspicion (flapping-link damping).
+        See docs/FAULTS.md."""
         if self._built:
             raise RuntimeError("cluster already built")
-        self._membership_params = (heartbeat_period, suspicion_timeout)
+        self._membership_params = dict(
+            heartbeat_period=heartbeat_period,
+            suspicion_timeout=suspicion_timeout,
+            confirmation_grace=confirmation_grace,
+            suspicion_backoff=suspicion_backoff,
+        )
 
     def build(self) -> "Cluster":
         """Create the view, all GroupNodes, wire SSTs, start threads."""
@@ -159,6 +174,23 @@ class Cluster:
         if group is not None:
             group.kill()
 
+    @property
+    def faults(self) -> "FaultPlane":
+        """The cluster's fault-injection plane (created on first use).
+
+        Partition/jitter/stall/crash injection with a JSON-serializable
+        schedule for exact replay — see :mod:`repro.faults` and
+        docs/FAULTS.md::
+
+            cluster.faults.partition([[0, 1], [2, 3]],
+                                     at=ms(1), heal_at=ms(2))
+        """
+        if self._faults is None:
+            from ..faults.plane import FaultPlane
+
+            self._faults = FaultPlane(self)
+        return self._faults
+
     def add_node(self) -> int:
         """Provision a fresh machine (e.g. a joiner for the next view).
 
@@ -166,9 +198,11 @@ class Cluster:
         until a view that includes it is installed via
         :meth:`install_view` (joins happen at epoch boundaries, §2.1).
         """
-        node_id = self.fabric.add_node().node_id
-        self.node_ids.append(node_id)
-        return node_id
+        node = self.fabric.add_node()
+        self.node_ids.append(node.node_id)
+        if self._faults is not None:
+            self._faults.adopt(node)
+        return node.node_id
 
     # -------------------------------------------------------------- running
 

@@ -61,3 +61,78 @@ class TestCli:
     def test_rejects_unknown_config(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["single", "--config", "warp-speed"])
+
+
+class TestChaosCli:
+    def test_list_names_every_scenario(self, capsys):
+        from repro.faults.scenarios import SCENARIOS
+
+        code, out = run_cli(capsys, "chaos", "--list")
+        assert code == 0
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_scenario_run_prints_status(self, capsys):
+        code, out = run_cli(capsys, "chaos", "--scenario", "jitter-storm",
+                            "--seed", "3")
+        assert code == 0
+        assert "jitter-storm" in out
+        assert "ok" in out
+
+    def test_repeat_checks_replay(self, capsys):
+        code, out = run_cli(capsys, "chaos", "--scenario", "sender-stall",
+                            "--seed", "5", "--repeat", "2")
+        assert code == 0
+        assert "FAIL" not in out
+
+    def test_json_output_is_parseable(self, capsys):
+        import json
+
+        code, out = run_cli(capsys, "chaos", "--scenario", "leader-crash",
+                            "--seed", "2", "--json")
+        assert code == 0
+        payload = json.loads(out.strip())
+        assert payload["ok"] is True
+        assert payload["replay_ok"] is True
+        assert payload["schedule_json"]
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        code, _ = run_cli(capsys, "chaos", "--scenario", "black-swan")
+        assert code == 2
+
+    def test_no_selection_exits_2(self, capsys):
+        code, _ = run_cli(capsys, "chaos")
+        assert code == 2
+
+    def test_failure_writes_artifact_and_exits_1(self, capsys, tmp_path,
+                                                 monkeypatch):
+        import json
+
+        from repro.faults.scenarios import SCENARIOS, ScenarioResult
+
+        def broken(seed):
+            return ScenarioResult(
+                name="broken", seed=seed, ok=False,
+                problems=["node 1 delivered 0/10"], duration=0.0,
+                delivered={}, log_digest="d" * 64,
+                trace_fingerprint="f" * 64, drops_by_reason={},
+                fault_counters={}, views={},
+                schedule_json='{"version": 1, "seed": 0, "events": []}')
+
+        monkeypatch.setitem(SCENARIOS, "broken", broken)
+        code, _ = run_cli(capsys, "chaos", "--scenario", "broken",
+                          "--seed", "9", "--artifact-dir", str(tmp_path))
+        assert code == 1
+        artifact = tmp_path / "chaos-broken-seed9.json"
+        assert artifact.exists()
+        data = json.loads(artifact.read_text())
+        assert data["problems"] == ["node 1 delivered 0/10"]
+        assert "spindle-repro chaos --scenario broken --seed 9" in \
+            data["replay_cmd"]
+
+    def test_sweep_runs_multiple_seeds(self, capsys):
+        code, out = run_cli(capsys, "chaos", "--scenario", "crash-restart",
+                            "--seed", "1", "--sweep", "2")
+        assert code == 0
+        lines = [ln for ln in out.splitlines() if "crash-restart" in ln]
+        assert len(lines) == 2

@@ -16,6 +16,7 @@ EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
 EXPECTED_SNIPPETS = {
     "quickstart.py": "delivered the same",
     "avionics_dds.py": "Flight-recorder SSD log",
+    "chaos_partition.py": "identical order despite the partition: True",
     "delayed_sender.py": "WITH null-sends",
     "sst_table_demo.py": "Table 1a analogue",
     "view_change.py": "total order maintained across the view change: True",
