@@ -6,7 +6,7 @@ rose from 1 GB/s to 9.7 GB/s on the 12.5 GB/s network for 10 KB
 messages).
 """
 
-from _common import emit, run_once
+from _common import emit, emit_bench_json, run_once
 
 from repro.analysis import figure_banner, format_table, gbps
 from repro.core.config import SpindleConfig
@@ -50,3 +50,8 @@ def bench_fig16_final_throughput(benchmark):
     # Utilization: 60-100% of the 12.5 GB/s link, stable for 4..16 nodes.
     for n in NODES[1:]:
         assert 0.5 * 12.5e9 < results[(n, "all")].throughput
+
+    emit_bench_json("fig16_final_throughput", {
+        "final_16_all_gbps": sixteen / 1e9,
+        "headline_speedup": sixteen / results[(16, "baseline")].throughput,
+    })

@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over BENCH_<name>.json artifacts.
+
+Compares the schema-versioned artifacts a benchmark run leaves at the
+repository root (``benchmarks/_common.emit_bench_json``) against the
+committed baselines in ``benchmarks/baselines/``, and fails when any
+scalar regresses by more than the threshold (default 25%) in its bad
+direction (``higher_is_better`` decides which way is bad).
+
+Usage::
+
+    python benchmarks/check_regressions.py            # gate repo-root artifacts
+    python benchmarks/check_regressions.py --dir out/ # gate another directory
+    python benchmarks/check_regressions.py --update   # rewrite the baselines
+
+Known/accepted regressions can be waived with one line each in
+``benchmarks/baselines/OVERRIDES``::
+
+    # <artifact>.<scalar> — reason (kept for the reviewer)
+    fig12_thread_sync.mean_speedup  quick-mode variance after seed bump
+
+Only the first whitespace-separated token of a line is the key; the
+rest is a free-form justification. ``<artifact>`` alone waives every
+scalar of that artifact. Stdlib-only by design: the gate must run on a
+bare CI python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import shutil
+import sys
+from typing import Dict, List, Optional, Set, Tuple
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(HERE)
+BASELINE_DIR = os.path.join(HERE, "baselines")
+OVERRIDES_FILE = os.path.join(BASELINE_DIR, "OVERRIDES")
+SCHEMA_VERSION = 1
+DEFAULT_THRESHOLD = 0.25
+
+
+def load_artifact(path: str) -> Optional[dict]:
+    """Load and schema-check one BENCH_*.json; None (with a message)
+    when it is unreadable or has the wrong schema version."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"check_regressions: unreadable artifact {path}: {exc}",
+              file=sys.stderr)
+        return None
+    if data.get("schema_version") != SCHEMA_VERSION:
+        print(f"check_regressions: {path}: schema_version "
+              f"{data.get('schema_version')!r} != {SCHEMA_VERSION}",
+              file=sys.stderr)
+        return None
+    if not isinstance(data.get("name"), str) or \
+            not isinstance(data.get("scalars"), dict):
+        print(f"check_regressions: {path}: missing name/scalars",
+              file=sys.stderr)
+        return None
+    return data
+
+
+def load_overrides(path: Optional[str] = None) -> Set[str]:
+    """Waived keys: ``artifact`` or ``artifact.scalar`` tokens."""
+    if path is None:
+        path = OVERRIDES_FILE  # resolved at call time (testable)
+    waived: Set[str] = set()
+    if not os.path.exists(path):
+        return waived
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            waived.add(line.split()[0])
+    return waived
+
+
+def compare(
+    current: dict,
+    baseline: dict,
+    threshold: float,
+    waived: Set[str],
+) -> Tuple[List[List[str]], List[str]]:
+    """Compare one artifact against its baseline.
+
+    Returns (rows for the report, list of failing keys).
+    """
+    name = current["name"]
+    rows: List[List[str]] = []
+    failures: List[str] = []
+    base_scalars: Dict[str, dict] = baseline.get("scalars", {})
+    for scalar, spec in sorted(current["scalars"].items()):
+        key = f"{name}.{scalar}"
+        value = float(spec["value"])
+        higher = bool(spec.get("higher_is_better", True))
+        base = base_scalars.get(scalar)
+        if base is None:
+            rows.append([key, "-", f"{value:g}", "-", "new (no baseline)"])
+            continue
+        base_value = float(base["value"])
+        if base_value == 0.0:
+            delta = 0.0 if value == 0.0 else float("inf")
+        else:
+            delta = (value - base_value) / abs(base_value)
+        bad = (delta < -threshold) if higher else (delta > threshold)
+        status = "ok"
+        if bad and (name in waived or key in waived):
+            status = "waived"
+        elif bad:
+            status = f"REGRESSION (> {threshold * 100:.0f}%)"
+            failures.append(key)
+        rows.append([key, f"{base_value:g}", f"{value:g}",
+                     f"{delta * +100:+.1f}%", status])
+    return rows, failures
+
+
+def find_artifacts(directory: str) -> List[str]:
+    return sorted(glob.glob(os.path.join(directory, "BENCH_*.json")))
+
+
+def update_baselines(paths: List[str]) -> int:
+    os.makedirs(BASELINE_DIR, exist_ok=True)
+    for path in paths:
+        if load_artifact(path) is None:
+            return 2
+        shutil.copyfile(path,
+                        os.path.join(BASELINE_DIR, os.path.basename(path)))
+        print(f"check_regressions: baseline <- {os.path.basename(path)}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dir", default=REPO_ROOT,
+                        help="directory holding BENCH_*.json artifacts "
+                             "(default: repo root)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="relative regression tolerance (default 0.25)")
+    parser.add_argument("--min-artifacts", type=int, default=1,
+                        help="fail unless at least this many schema-valid "
+                             "artifacts are found")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite benchmarks/baselines/ from the "
+                             "current artifacts instead of gating")
+    args = parser.parse_args(argv)
+
+    paths = find_artifacts(args.dir)
+    if args.update:
+        if not paths:
+            print("check_regressions: no BENCH_*.json artifacts to adopt",
+                  file=sys.stderr)
+            return 2
+        return update_baselines(paths)
+
+    artifacts = []
+    for path in paths:
+        data = load_artifact(path)
+        if data is None:
+            return 2
+        artifacts.append(data)
+    if len(artifacts) < args.min_artifacts:
+        print(f"check_regressions: only {len(artifacts)} schema-valid "
+              f"artifact(s) in {args.dir}, need >= {args.min_artifacts}",
+              file=sys.stderr)
+        return 2
+
+    waived = load_overrides()
+    all_rows: List[List[str]] = []
+    all_failures: List[str] = []
+    for data in artifacts:
+        base_path = os.path.join(BASELINE_DIR,
+                                 f"BENCH_{data['name']}.json")
+        if not os.path.exists(base_path):
+            all_rows.append([data["name"], "-", "-", "-",
+                             "new artifact (no baseline file)"])
+            continue
+        baseline = load_artifact(base_path)
+        if baseline is None:
+            return 2
+        rows, failures = compare(data, baseline, args.threshold, waived)
+        all_rows.extend(rows)
+        all_failures.extend(failures)
+
+    widths = [max(len(r[i]) for r in all_rows + [["scalar", "baseline",
+                                                 "current", "delta",
+                                                 "status"]])
+              for i in range(5)]
+    header = ["scalar", "baseline", "current", "delta", "status"]
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in all_rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+    if all_failures:
+        print(f"\ncheck_regressions: {len(all_failures)} scalar(s) "
+              f"regressed: {', '.join(all_failures)}", file=sys.stderr)
+        print("(waive intentionally with a line in "
+              "benchmarks/baselines/OVERRIDES, or refresh baselines with "
+              "--update)", file=sys.stderr)
+        return 1
+    print(f"\ncheck_regressions: {len(artifacts)} artifact(s) ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -218,6 +218,85 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    """Run a workload in-process and print the metrics registry
+    (docs/METRICS.md): a snapshot in table/JSON/Prometheus form, and —
+    with ``--profile`` — the per-stage pipeline time breakdown whose
+    total must match the predicate-thread busy time."""
+    from .metrics import (
+        check_partition,
+        format_stage_profile,
+        stage_profile,
+    )
+    from .workloads.cluster import Cluster
+    from .workloads.generators import continuous_sender
+    from .workloads.runner import sender_set
+
+    cluster = Cluster(args.nodes, config=CONFIGS[args.config](),
+                      seed=args.seed)
+    if not cluster.metrics.enabled:
+        print("metrics: registry disabled (SPINDLE_METRICS=0); nothing "
+              "to report", file=sys.stderr)
+        return 2
+    senders = sender_set(args.nodes, args.pattern)
+    cluster.add_subgroup(senders=senders, window=args.window,
+                         message_size=args.size)
+    cluster.build()
+    for nid in senders:
+        cluster.spawn_sender(continuous_sender(
+            cluster.mc(nid, 0), count=args.count, size=args.size))
+
+    if args.watch:
+        interval = args.watch / 1e3  # ms of simulated time
+        last = [-1, -1]
+
+        def tick() -> None:
+            stats0 = cluster.group(senders[0]).stats(0)
+            now = [stats0.delivered, cluster.fabric.total_writes_posted()]
+            if now == last:
+                return  # quiescent: stop rescheduling so the run can end
+            last[:] = now
+            print(f"[watch t={cluster.sim.now * 1e3:8.3f} ms] "
+                  f"delivered={now[0]:6d} rdma_writes={now[1]:7d}")
+            cluster.sim.call_at(cluster.sim.now + interval, tick)
+
+        cluster.sim.call_at(interval, tick)
+
+    cluster.run_to_quiescence(max_time=args.max_time)
+
+    if args.format == "json":
+        print(cluster.metrics_json())
+    elif args.format == "prom":
+        print(cluster.metrics_prometheus())
+    else:
+        snap = cluster.metrics_snapshot()
+        rows = []
+        for key, sample in snap["metrics"].items():
+            kind = sample["kind"]
+            if kind in ("counter", "gauge"):
+                rows.append([key, kind, f"{sample['value']:g}"])
+            elif kind == "histogram":
+                rows.append([key, kind,
+                             f"count={sample['count']} sum={sample['sum']:g}"])
+            else:  # timer
+                rows.append([key, kind,
+                             f"spans={sample['count']} "
+                             f"total={sample['total_seconds'] * 1e6:.1f} us"])
+        print(format_table(["metric", "kind", "value"], rows))
+
+    if args.profile:
+        profile = stage_profile(cluster.metrics)
+        print()
+        print(format_stage_profile(profile))
+        ok, rel_err = check_partition(profile)
+        print(f"partition check: stage total vs predicate busy time "
+              f"differs by {rel_err * 100:.2f}% "
+              f"({'ok' if ok else 'FAIL — over 5% tolerance'})")
+        if not ok:
+            return 1
+    return 0
+
+
 def cmd_lint(args) -> int:
     from .analysis.lint import format_report, lint_paths
     from .analysis.lint.findings import format_baseline
@@ -326,6 +405,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write failing-run artifacts (seed + schedule "
                         "JSON) here for CI upload")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run a workload and print the metrics registry "
+             "(docs/METRICS.md)")
+    _add_common(p, count=150)
+    p.add_argument("--pattern", choices=["all", "half", "one"], default="all")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-time", type=float, default=5.0,
+                   help="simulated-time cap in seconds (default 5)")
+    p.add_argument("--format", choices=["table", "json", "prom"],
+                   default="table",
+                   help="snapshot format (default: table)")
+    p.add_argument("--profile", action="store_true",
+                   help="print the per-stage pipeline time breakdown and "
+                        "check it partitions predicate-thread busy time")
+    p.add_argument("--watch", type=float, default=None, metavar="MS",
+                   help="print a progress line every MS of simulated time")
+    p.set_defaults(fn=cmd_metrics)
 
     p = sub.add_parser(
         "lint",

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from ..metrics.registry import MetricsRegistry, null_registry
 from ..predicates.framework import PredicateThread
 from ..rdma.fabric import RdmaFabric
 from ..rdma.memory import Region, WriteSnapshot
@@ -64,6 +65,7 @@ class GroupNode:
         config: SpindleConfig,
         timing: Optional[TimingModel] = None,
         membership_params: Optional[tuple] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.sim = sim
         self.fabric = fabric
@@ -72,13 +74,23 @@ class GroupNode:
         self.view = view
         self.config = config
         self.timing = timing if timing is not None else TimingModel()
+        #: Fabric-wide metrics registry (docs/METRICS.md); this node's
+        #: instruments all carry ``node`` and ``view`` labels (the view
+        #: label keeps per-epoch state fresh across view changes, like
+        #: the per-view SST memory layout, §2.3). Null when disabled.
+        self.metrics = metrics if metrics is not None else null_registry()
+        self._view_scope = self.metrics.scoped(node=self.node_id,
+                                               view=view.view_id)
+        node_scope = self._view_scope
 
         layout, blocks, membership_cols = build_layout(
             view, with_membership=membership_params is not None
         )
-        self.sst = SST(layout, fabric, rdma_node, view.members)
+        self.sst = SST(layout, fabric, rdma_node, view.members,
+                       metrics=node_scope)
         self.thread = PredicateThread(
-            sim, config, self.timing, name=f"predicates@{self.node_id}"
+            sim, config, self.timing, name=f"predicates@{self.node_id}",
+            metrics=node_scope,
         )
         self.multicasts: Dict[int, SubgroupMulticast] = {}
         self.persistence: Dict[int, "PersistenceEngine"] = {}
@@ -100,7 +112,9 @@ class GroupNode:
                 timing=self.timing,
                 thread=self.thread,
                 deliver_cb=self._make_dispatcher(sg.subgroup_id),
-                stats=SubgroupStats(),
+                stats=SubgroupStats(registry=self._view_scope,
+                                    node=self.node_id,
+                                    subgroup=sg.subgroup_id),
                 delivery_mode=sg.delivery_mode,
             )
             self.multicasts[sg.subgroup_id] = mc

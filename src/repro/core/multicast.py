@@ -47,6 +47,11 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Deque, Generator, List, Optional, Sequence, Tuple
 
+from ..metrics.stages import (
+    STAGE_DELIVERY_PREDICATE,
+    STAGE_RECEIVE_PREDICATE,
+    STAGE_SEND_PREDICATE,
+)
 from ..predicates.framework import Predicate, PredicateThread
 from ..sim.engine import Simulator
 from ..sim.sync import Doorbell
@@ -120,7 +125,7 @@ class SubgroupMulticast:
         self.thread = thread
         self.deliver_cb = deliver_cb
         self.stats = stats if stats is not None else SubgroupStats()
-        self.smc = SMC(sst, cols, members)
+        self.smc = SMC(sst, cols, members, metrics=self.stats.scope)
         self.node_id = sst.node_id
         self._rank_of = {node: rank for rank, node in enumerate(self.senders)}
         self.my_rank: Optional[int] = self._rank_of.get(self.node_id)
@@ -202,10 +207,11 @@ class SubgroupMulticast:
                 break
             if not blocked:
                 blocked = True
-                self.stats.sends_blocked += 1
+                self.stats.record_blocked_send()
             yield self.slot_doorbell.wait()
         if blocked:
-            self.stats.sender_wait_time += self.sim.now - wait_start
+            # §4.1.1 sender wait == the send_slot_acquire stage timer.
+            self.stats.add_sender_wait(self.sim.now - wait_start)
         return self.reals_queued
 
     def queue_message(self, size: int, payload: Optional[bytes]
@@ -297,7 +303,7 @@ class SubgroupMulticast:
                     ))
                 delivered += 1
             else:
-                self.stats.nulls_skipped += 1
+                self.stats.record_null_skipped()
         if s > self.delivered_seq:
             self.delivered_seq = s
             self.sst.set(self.cols.delivered, s)
@@ -380,7 +386,7 @@ class SubgroupMulticast:
         self.next_round += count
         self.nulls_announced += count
         self.sst.set(self.cols.nulls, self.nulls_announced)
-        self.stats.nulls_sent += count
+        self.stats.record_nulls_sent(count)
 
     def stable_seq(self) -> int:
         """Highest sequence number received by *all* members (min of the
@@ -395,6 +401,8 @@ class SubgroupMulticast:
 
 class _SendPredicate(Predicate):
     """Detects queued application messages and pushes them to peers."""
+
+    stage = STAGE_SEND_PREDICATE
 
     def __init__(self, mc: SubgroupMulticast):
         self.mc = mc
@@ -442,6 +450,8 @@ class _SendPredicate(Predicate):
 class _ReceivePredicate(Predicate):
     """Scans every sender's slots (and null counters) for new messages,
     advances received_num, and runs the null-send rule (§3.3)."""
+
+    stage = STAGE_RECEIVE_PREDICATE
 
     def __init__(self, mc: SubgroupMulticast):
         self.mc = mc
@@ -493,15 +503,21 @@ class _ReceivePredicate(Predicate):
 
         if unordered and consumed_slots:
             # QoS "unordered": deliver on receipt, in the receive trigger.
+            upcall_cost = 0.0
             for rank, slot in consumed_slots:
-                cost += timing.delivery_per_message + timing.delivery_upcall
+                cost += timing.delivery_per_message
+                upcall = timing.delivery_upcall
                 if mc.config.copy_on_delivery:
-                    cost += timing.memcpy_time(slot.size)
+                    upcall += timing.memcpy_time(slot.size)
                 if mc.extra_delivery_cost is not None:
-                    cost += mc.extra_delivery_cost(slot.size)
+                    upcall += mc.extra_delivery_cost(slot.size)
+                cost += upcall
+                upcall_cost += upcall
                 mc.stats.record_delivery(
                     mc.sim.now + cost, rank, slot.size, slot.queued_at
                 )
+            # Nested stage: upcall time inside the receive predicate.
+            mc.stats.add_upcall_time(upcall_cost, batches=len(consumed_slots))
         yield cost
 
         if unordered:
@@ -520,7 +536,7 @@ class _ReceivePredicate(Predicate):
         if nulls_to_send:
             mc._announce_nulls(nulls_to_send)
         if consumed_reals:
-            mc.stats.received += consumed_reals
+            mc.stats.record_received(consumed_reals)
             mc.stats.record_receive_batch(consumed_reals)
 
         # -- advance received_num -------------------------------------------
@@ -541,9 +557,9 @@ class _ReceivePredicate(Predicate):
             return None
         if mc.config.null_send_batched or nulls_to_send <= 1:
             if nulls_to_send:
-                mc.stats.null_announce_pushes += 1
+                mc.stats.record_null_announce_pushes(1)
             return mc.smc.push_control()
-        mc.stats.null_announce_pushes += nulls_to_send
+        mc.stats.record_null_announce_pushes(nulls_to_send)
         return self._separate_null_pushes(nulls_to_send, ack_needed)
 
     def _separate_null_pushes(self, nulls: int, ack_needed: bool):
@@ -558,6 +574,8 @@ class _ReceivePredicate(Predicate):
 class _DeliveryPredicate(Predicate):
     """Delivers messages that every member has received, in sequence
     order, skipping null rounds; then acknowledges via delivered_num."""
+
+    stage = STAGE_DELIVERY_PREDICATE
 
     def __init__(self, mc: SubgroupMulticast):
         self.mc = mc
@@ -586,6 +604,7 @@ class _DeliveryPredicate(Predicate):
         s = mc.delivered_seq
         t0 = mc.sim.now
         cost = 0.0
+        upcall_cost = 0.0
         processed = 0
         while s < stable and processed < max_seqs:
             s += 1
@@ -605,9 +624,11 @@ class _DeliveryPredicate(Predicate):
                     cost += mc.extra_delivery_cost(slot.size)
                 if not config.batched_upcall:
                     # Upcall per message, inside the critical path (§3.5).
-                    cost += timing.delivery_upcall
+                    upcall = timing.delivery_upcall
                     if config.copy_on_delivery:
-                        cost += timing.memcpy_time(slot.size)
+                        upcall += timing.memcpy_time(slot.size)
+                    cost += upcall
+                    upcall_cost += upcall
                     # Timestamp each delivery at its upcall completion.
                     mc.stats.record_delivery(
                         t0 + cost, rank, slot.size, slot.queued_at
@@ -620,18 +641,23 @@ class _DeliveryPredicate(Predicate):
                         f"delivery order violated in sg{mc.subgroup_id}: "
                         f"pending round {dq[0].round_index} < expected {k}"
                     )
-                mc.stats.nulls_skipped += 1
+                mc.stats.record_null_skipped()
 
         if config.batched_upcall and batch:
-            cost += (timing.batched_upcall_base
-                     + timing.batched_upcall_per_message * len(batch))
+            upcall = (timing.batched_upcall_base
+                      + timing.batched_upcall_per_message * len(batch))
             if config.copy_on_delivery:
-                cost += sum(timing.memcpy_time(d.size) for d in batch)
+                upcall += sum(timing.memcpy_time(d.size) for d in batch)
+            cost += upcall
+            upcall_cost += upcall
             # The whole batch is handed to the application at once.
             for rank, slot in batched_slots:
                 mc.stats.record_delivery(
                     t0 + cost, rank, slot.size, slot.queued_at
                 )
+        if upcall_cost:
+            # Nested stage: upcall time inside the delivery predicate.
+            mc.stats.add_upcall_time(upcall_cost, batches=len(batch))
         yield cost
 
         if mc.deliver_cb is not None:

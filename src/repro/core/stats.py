@@ -5,87 +5,233 @@ delivered per second, §4), per-stage batch-size histograms (Fig. 7),
 RDMA write counts and predicate-thread post time (§4.1.1), sender
 wait-for-slot time (§4.1.1), delivery latency (Figs. 5/17), and
 inter-delivery times per sender (§4.2.1).
+
+Since the metrics plane landed, :class:`SubgroupStats` is a *thin view*
+over a :class:`~repro.metrics.MetricsRegistry` scope: every scalar the
+benchmarks read (``delivered``, ``bytes_delivered``, ``nulls_sent``,
+...) is backed by a registry counter labelled with this stats object's
+(node, subgroup), and batch sizes / latencies are additionally observed
+into fixed-bucket registry histograms. Structures the registry cannot
+hold compactly (exact batch Counters for Fig. 7's table, the sampled
+delivery curve, per-sender inter-delivery state) stay local. A stats
+object created without a registry gets a private enabled one, so the
+historical standalone API is unchanged.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..metrics.registry import (
+    DEFAULT_BATCH_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+)
+from ..metrics.stages import (
+    STAGE_DELIVERY_UPCALL,
+    STAGE_SEND_SLOT_ACQUIRE,
+    STAGE_TIME,
+)
 
 __all__ = ["SubgroupStats"]
 
 
 class SubgroupStats:
-    """Per-(node, subgroup) counters and histograms."""
+    """Per-(node, subgroup) counters and histograms.
 
-    def __init__(self, curve_stride: int = 64, latency_sample_cap: int = 4096):
+    ``registry`` is the fabric-wide metrics registry (or any scope of
+    it); ``node``/``subgroup`` become label values. Without a registry
+    (or with a disabled one) a private enabled registry keeps all
+    reads/writes working identically.
+    """
+
+    def __init__(self, curve_stride: int = 64, latency_sample_cap: int = 4096,
+                 registry: Optional[Any] = None,
+                 node: Optional[int] = None, subgroup: Optional[int] = None):
         self.curve_stride = curve_stride
         self.latency_sample_cap = latency_sample_cap
 
-        # -- message counts ----------------------------------------------------
-        self.sent = 0                 # application messages queued locally
-        self.nulls_sent = 0           # null rounds announced by this node
-        self.null_announce_pushes = 0  # control pushes that carried nulls
-        self.received = 0             # application messages received (all senders)
-        self.delivered = 0            # application messages delivered
-        self.nulls_skipped = 0        # null rounds passed over at delivery
-        self.bytes_delivered = 0
+        if registry is None or not registry.enabled:
+            registry = MetricsRegistry()
+        labels: Dict[str, Any] = {}
+        if node is not None:
+            labels["node"] = node
+        if subgroup is not None:
+            labels["subgroup"] = subgroup
+        #: The labelled registry scope backing this stats object — also
+        #: used by the protocol to time app-side pipeline stages.
+        self.scope = registry.scoped(**labels)
+        scope = self.scope
 
-        # -- batch histograms (Fig. 7) -----------------------------------------
+        # -- message counts (registry-backed) ----------------------------------
+        c = scope.counter
+        self._sent = c("spindle_messages_sent_total",
+                       "application messages queued locally")
+        self._nulls_sent = c("spindle_nulls_announced_total",
+                             "null rounds announced by this node (§3.3)")
+        self._null_announce_pushes = c(
+            "spindle_null_announce_pushes_total",
+            "control pushes that carried null announcements")
+        self._received = c("spindle_messages_received_total",
+                           "application messages received (all senders)")
+        self._delivered = c("spindle_messages_delivered_total",
+                            "application messages delivered")
+        self._nulls_skipped = c("spindle_nulls_skipped_total",
+                                "null rounds passed over at delivery")
+        self._bytes_delivered = c("spindle_bytes_delivered_total",
+                                  "application payload bytes delivered")
+        self._sends_blocked = c("spindle_sends_blocked_total",
+                                "sends that had to wait for a ring slot")
+
+        # -- registry histograms (Fig. 7 / Figs. 5, 17) ------------------------
+        self._batch_hist = {
+            stage: scope.histogram("spindle_batch_size",
+                                   buckets=DEFAULT_BATCH_BUCKETS,
+                                   help="per-stage batch sizes (Fig. 7)",
+                                   stage=stage)
+            for stage in ("send", "receive", "delivery")
+        }
+        self._latency_hist = scope.histogram(
+            "spindle_delivery_latency_seconds",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+            help="queue-to-local-delivery latency")
+
+        # -- app-side stage timers (§4.1.1 sender wait, §3.5 upcalls) ----------
+        self._wait_timer = scope.timer(
+            STAGE_TIME, "sender time blocked waiting for a free slot",
+            stage=STAGE_SEND_SLOT_ACQUIRE)
+        self._upcall_timer = scope.timer(
+            STAGE_TIME, "delivery upcall time (nested in delivery stage)",
+            stage=STAGE_DELIVERY_UPCALL)
+
+        # -- exact batch histograms (Fig. 7 table; registry buckets are
+        #    too coarse for the paper-style rows) ------------------------------
         self.send_batches: Counter = Counter()
         self.receive_batches: Counter = Counter()
         self.delivery_batches: Counter = Counter()
 
-        # -- latency (queue-to-local-delivery, seconds) --------------------------
+        # -- latency (queue-to-local-delivery, seconds) ------------------------
         self.latency_sum = 0.0
         self.latency_count = 0
         self.latency_max = 0.0
         self.latency_samples: List[float] = []
 
-        # -- timing landmarks ----------------------------------------------------
+        # -- timing landmarks --------------------------------------------------
         self.first_send_time: Optional[float] = None
         self.first_delivery_time: Optional[float] = None
         self.last_delivery_time: Optional[float] = None
         #: sampled cumulative (time, bytes) curve for steady-state rates.
         self.delivery_curve: List[Tuple[float, int]] = []
 
-        # -- sender-side ---------------------------------------------------------
-        self.sender_wait_time = 0.0   # time spent waiting for a free slot
-        self.sends_blocked = 0        # how many sends had to wait
-
-        # -- per-sender last delivery time (inter-delivery metric, §4.2.1) ------
+        # -- per-sender last delivery time (inter-delivery metric, §4.2.1) ----
         self.last_delivery_from: Dict[int, float] = {}
         self.interdelivery_sum: Dict[int, float] = {}
         self.interdelivery_count: Dict[int, int] = {}
+
+    # ------------------------------------------------- registry-backed scalars
+
+    @property
+    def sent(self) -> int:
+        """Application messages queued locally."""
+        return self._sent.value
+
+    @property
+    def nulls_sent(self) -> int:
+        """Null rounds announced by this node."""
+        return self._nulls_sent.value
+
+    @property
+    def null_announce_pushes(self) -> int:
+        """Control pushes that carried null announcements."""
+        return self._null_announce_pushes.value
+
+    @property
+    def received(self) -> int:
+        """Application messages received (all senders)."""
+        return self._received.value
+
+    @property
+    def delivered(self) -> int:
+        """Application messages delivered."""
+        return self._delivered.value
+
+    @property
+    def nulls_skipped(self) -> int:
+        """Null rounds passed over at delivery."""
+        return self._nulls_skipped.value
+
+    @property
+    def bytes_delivered(self) -> int:
+        """Application payload bytes delivered."""
+        return self._bytes_delivered.value
+
+    @property
+    def sends_blocked(self) -> int:
+        """How many sends had to wait for a free slot."""
+        return self._sends_blocked.value
+
+    @property
+    def sender_wait_time(self) -> float:
+        """Seconds the sender spent blocked waiting for a slot (§4.1.1)."""
+        return self._wait_timer.total
 
     # ------------------------------------------------------------- recording
 
     def record_send(self, now: float) -> None:
         """A message was queued locally (first call marks workload start)."""
-        self.sent += 1
+        self._sent.inc()
         if self.first_send_time is None:
             self.first_send_time = now
 
     def record_send_batch(self, size: int) -> None:
         self.send_batches[size] += 1
+        self._batch_hist["send"].observe(size)
 
     def record_receive_batch(self, size: int) -> None:
         self.receive_batches[size] += 1
+        self._batch_hist["receive"].observe(size)
 
     def record_delivery_batch(self, size: int) -> None:
         self.delivery_batches[size] += 1
+        self._batch_hist["delivery"].observe(size)
+
+    def record_received(self, count: int = 1) -> None:
+        self._received.inc(count)
+
+    def record_nulls_sent(self, count: int) -> None:
+        self._nulls_sent.inc(count)
+
+    def record_null_announce_pushes(self, count: int = 1) -> None:
+        self._null_announce_pushes.inc(count)
+
+    def record_null_skipped(self, count: int = 1) -> None:
+        self._nulls_skipped.inc(count)
+
+    def record_blocked_send(self) -> None:
+        self._sends_blocked.inc()
+
+    def add_sender_wait(self, elapsed: float) -> None:
+        """Account one blocked-send wait span (send_slot_acquire stage)."""
+        self._wait_timer.add(elapsed)
+
+    def add_upcall_time(self, elapsed: float, batches: int = 1) -> None:
+        """Account delivery-upcall time (nested inside the delivery
+        predicate's span; not part of the thread-time partition)."""
+        self._upcall_timer.add(elapsed, count=batches)
 
     def record_delivery(self, now: float, sender_rank: int, size: int,
                         queued_at: float) -> None:
         """One application message delivered locally."""
-        self.delivered += 1
-        self.bytes_delivered += size
+        self._delivered.inc()
+        self._bytes_delivered.inc(size)
         if self.first_delivery_time is None:
             self.first_delivery_time = now
         self.last_delivery_time = now
         if self.delivered % self.curve_stride == 0:
             self.delivery_curve.append((now, self.bytes_delivered))
         latency = now - queued_at
+        self._latency_hist.observe(latency)
         self.latency_sum += latency
         self.latency_count += 1
         if latency > self.latency_max:

@@ -111,6 +111,19 @@ class FaultPlane:
         self.crashes = 0
         self.restarts = 0
         self.heals = 0
+        # -- metrics plane (docs/METRICS.md) ----------------------------------
+        # Armed events are counted as they are scheduled; the injection
+        # counters above are mirrored into the registry by a pull
+        # collector at snapshot time, keeping the egress hot path free
+        # of metric calls.
+        metrics = getattr(cluster, "metrics", None)
+        if metrics is None or not getattr(metrics, "enabled", False):
+            from ..metrics.registry import null_registry
+
+            metrics = null_registry()
+        self.metrics = metrics
+        if metrics.enabled:
+            metrics.add_collector(self._mirror_counters)
         #: Fired as ``callback(node_id)`` when a crashed node's NIC is
         #: revived; protocol re-admission is the application's move
         #: (``Cluster.install_view`` with a joined view).
@@ -216,6 +229,11 @@ class FaultPlane:
 
     def _arm(self, event) -> None:
         kind = event.kind
+        self.metrics.counter(
+            "spindle_fault_events_armed_total",
+            "Fault-schedule events armed against the cluster",
+            kind=kind,
+        ).inc()
         if kind in ("partition", "sever"):
             if kind == "partition":
                 cuts = []
@@ -358,3 +376,13 @@ class FaultPlane:
             "restarts": self.restarts,
             "heals": self.heals,
         }
+
+    def _mirror_counters(self) -> None:
+        """Pull collector: mirror the injection counters into the
+        registry as ``spindle_fault_injections_total{action=...}``."""
+        for action, value in self.counters().items():
+            self.metrics.counter(
+                "spindle_fault_injections_total",
+                "Fault injections performed by the FaultPlane",
+                action=action,
+            ).set_to(value)

@@ -31,6 +31,8 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..core.config import SpindleConfig, TimingModel
+from ..metrics.registry import null_registry
+from ..metrics.stages import STAGE_OTHER_PREDICATE, STAGE_SST_POST, STAGE_TIME
 from ..sim.engine import Simulator
 from ..sim.sync import Doorbell, Lock
 
@@ -44,6 +46,10 @@ class Predicate:
     name = "predicate"
     #: Subgroup this predicate belongs to (None for membership-level).
     subgroup: Optional[int] = None
+    #: Pipeline stage for the metrics profile (docs/METRICS.md):
+    #: "send_predicate" / "receive_predicate" / "delivery_predicate";
+    #: membership and durability predicates stay "other_predicate".
+    stage: str = STAGE_OTHER_PREDICATE
 
     def evaluate(self) -> Tuple[float, Any]:
         """Return (cpu_cost, value); value truthy means run the trigger."""
@@ -64,6 +70,7 @@ class PredicateThread:
         config: SpindleConfig,
         timing: TimingModel,
         name: str = "predicates",
+        metrics: Optional[Any] = None,
     ):
         self.sim = sim
         self.config = config
@@ -82,6 +89,28 @@ class PredicateThread:
         self.posts_run = 0
         #: time spent evaluating + triggering, per subgroup id (§4.1.3).
         self.subgroup_time: Dict[Optional[int], float] = {}
+        # -- metrics plane (docs/METRICS.md) -----------------------------------
+        #: A (usually node-scoped) registry view; the null registry makes
+        #: every instrument below a shared no-op.
+        self.metrics = metrics if metrics is not None else null_registry()
+        self._stage_timers: Dict[str, Any] = {}
+        self._post_timers = {
+            phase: self.metrics.timer(
+                STAGE_TIME, "RDMA posting time by lock phase (§3.4)",
+                stage=STAGE_SST_POST, lock_phase=phase)
+            for phase in ("prelock", "postlock")
+        }
+        self._iterations_counter = self.metrics.counter(
+            "spindle_predicate_iterations_total",
+            "polling-loop iterations")
+        self._busy_gauge = self.metrics.gauge(
+            "spindle_predicate_busy_seconds",
+            "total simulated time the polling thread was busy")
+        self._idle_gauge = self.metrics.gauge(
+            "spindle_predicate_idle_seconds",
+            "total simulated time parked on the doorbell")
+        self._triggers_counter = self.metrics.counter(
+            "spindle_predicate_triggers_total", "trigger bodies run")
 
     # -------------------------------------------------------------- lifecycle
 
@@ -114,9 +143,16 @@ class PredicateThread:
         timing = self.timing
         while self._running:
             self.iterations += 1
+            self._iterations_counter.inc()
             progressed = False
             iter_start = self.sim.now
             for predicate in tuple(self.predicates):
+                # Everything from here to the final release is billed to
+                # this predicate's stage, minus any posting time (billed
+                # to sst_post by lock phase) — together the stage timers
+                # partition busy_time exactly (docs/METRICS.md).
+                pass_start = self.sim.now
+                post_before = self.post_time
                 yield self.lock.acquire()
                 yield timing.lock_op
                 pred_start = self.sim.now
@@ -124,36 +160,63 @@ class PredicateThread:
                 yield cost
                 if value:
                     progressed = True
+                    self._triggers_counter.inc()
                     posts = yield from predicate.trigger(value)
                     self._account(predicate, self.sim.now - pred_start)
                     if self.config.early_lock_release:
                         yield timing.lock_op
                         self.lock.release()
                         if posts is not None:
-                            yield from self._run_posts(posts)
+                            yield from self._run_posts(posts, "postlock")
                     else:
                         if posts is not None:
-                            yield from self._run_posts(posts)
+                            yield from self._run_posts(posts, "prelock")
                         yield timing.lock_op
                         self.lock.release()
                 else:
                     self._account(predicate, self.sim.now - pred_start)
                     yield timing.lock_op
                     self.lock.release()
+                self._profile_stage(
+                    predicate,
+                    (self.sim.now - pass_start)
+                    - (self.post_time - post_before),
+                )
             self.busy_time += self.sim.now - iter_start
+            self._busy_gauge.set(self.busy_time)
             if not progressed:
                 idle_start = self.sim.now
                 yield self.doorbell.wait()
                 self.idle_time += self.sim.now - idle_start
+                self._idle_gauge.set(self.idle_time)
 
-    def _run_posts(self, posts: Generator[float, None, Any]):
+    def _run_posts(self, posts: Generator[float, None, Any],
+                   phase: str = "postlock"):
         """Drive a deferred-post generator, accounting the time as
-        'time spent posting RDMA writes' (§3.2 metric)."""
+        'time spent posting RDMA writes' (§3.2 metric). ``phase`` is
+        the §3.4 lock phase: "prelock" (posted while holding the shared
+        lock, baseline) or "postlock" (after early release)."""
         start = self.sim.now
         result = yield from posts
-        self.post_time += self.sim.now - start
+        elapsed = self.sim.now - start
+        self.post_time += elapsed
         self.posts_run += 1
+        self._post_timers[phase].add(elapsed)
         return result
+
+    def _profile_stage(self, predicate: Predicate, elapsed: float) -> None:
+        """Bill one predicate pass (minus posting) to its stage timer."""
+        stage = predicate.stage
+        timer = self._stage_timers.get(stage)
+        if timer is None:
+            timer = self.metrics.timer(
+                STAGE_TIME, "predicate-thread time by pipeline stage",
+                stage=stage)
+            self._stage_timers[stage] = timer
+        # Clamp float fuzz: elapsed is a difference of sums of tiny
+        # costs, so it can come out at -1e-19 when the pass was all
+        # posting time.
+        timer.add(elapsed if elapsed > 0 else 0.0)
 
     def _account(self, predicate: Predicate, elapsed: float) -> None:
         key = predicate.subgroup

@@ -25,6 +25,7 @@ from ..core.config import SpindleConfig, TimingModel
 from ..core.group import GroupNode
 from ..core.membership import SubgroupSpec, View
 from ..core.multicast import SubgroupMulticast
+from ..metrics.registry import MetricsRegistry, registry_enabled_from_env
 from ..rdma.fabric import RdmaFabric
 from ..rdma.latency import LatencyModel
 from ..sim.engine import Simulator
@@ -46,11 +47,19 @@ class Cluster:
         timing: Optional[TimingModel] = None,
         latency: Optional[LatencyModel] = None,
         seed: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if num_nodes < 1:
             raise ValueError("cluster needs at least one node")
         self.seed = seed
         self.sim = Simulator(seed=seed)
+        #: The fabric-wide metrics registry (docs/METRICS.md). Pass your
+        #: own, or set SPINDLE_METRICS=0 to make every instrument a
+        #: shared no-op (zero-cost-when-disabled).
+        self.metrics = metrics if metrics is not None else MetricsRegistry(
+            clock=lambda: self.sim.now,
+            enabled=registry_enabled_from_env(),
+        )
         self.fabric = RdmaFabric(self.sim, latency=latency)
         self.config = config if config is not None else SpindleConfig.optimized()
         self.timing = timing if timing is not None else TimingModel()
@@ -63,6 +72,7 @@ class Cluster:
         self._built = False
         self._membership_params: Optional[dict] = None
         self._faults = None
+        self._fabric_collectors_registered = False
 
     # ---------------------------------------------------------------- setup
 
@@ -139,11 +149,81 @@ class Cluster:
                 self.config,
                 self.timing,
                 membership_params=self._membership_params,
+                metrics=self.metrics,
             )
         wire_ssts({nid: g.sst for nid, g in self.groups.items()})
+        if self.metrics.enabled:
+            self._register_fabric_collectors()
         for group in self.groups.values():
             group.start()
         self.view = view
+
+    def _register_fabric_collectors(self) -> None:
+        """Pull-mirrors of NIC/fabric state into the registry.
+
+        Zero hot-path cost: the NIC keeps counting into its plain dicts
+        and these collectors copy the totals into labelled counters only
+        when a snapshot or export is taken (docs/METRICS.md). Reads the
+        live ``fabric.nodes`` map, so nodes added later are covered, and
+        registering once survives view changes."""
+        if self._fabric_collectors_registered:
+            return
+        self._fabric_collectors_registered = True
+        fabric = self.fabric
+        registry = self.metrics
+
+        def mirror_nics() -> None:
+            for nid, node in sorted(fabric.nodes.items()):
+                scope = registry.scoped(node=nid)
+                scope.counter(
+                    "spindle_nic_writes_posted_total",
+                    "RDMA writes posted by this NIC").set_to(node.writes_posted)
+                scope.counter(
+                    "spindle_nic_bytes_posted_total",
+                    "bytes posted by this NIC").set_to(node.bytes_posted)
+                scope.counter(
+                    "spindle_nic_writes_received_total",
+                    "RDMA writes landed at this NIC").set_to(node.writes_received)
+                for reason, count in sorted(
+                        node.writes_dropped_by_reason.items()):
+                    scope.counter(
+                        "spindle_nic_writes_dropped_total",
+                        "writes dropped, by reason (docs/FAULTS.md)",
+                        reason=reason).set_to(count)
+            registry.counter(
+                "spindle_rdma_writes_posted_total",
+                "fabric-wide RDMA writes posted").set_to(
+                    fabric.total_writes_posted())
+
+        def mirror_views() -> None:
+            if self.view is not None:
+                registry.gauge("spindle_view_id",
+                               "currently installed view").set(
+                                   self.view.view_id)
+                registry.gauge("spindle_view_members",
+                               "member count of the installed view").set(
+                                   len(self.view.members))
+
+        registry.add_collector(mirror_nics)
+        registry.add_collector(mirror_views)
+
+    def metrics_snapshot(self) -> dict:
+        """Deterministic fabric-wide snapshot (runs the collectors)."""
+        return self.metrics.snapshot()
+
+    def metrics_json(self, indent: Optional[int] = 2) -> str:
+        """Schema-versioned JSON export of the whole registry."""
+        return self.metrics.to_json(indent=indent)
+
+    def metrics_prometheus(self) -> str:
+        """Prometheus text exposition of the whole registry."""
+        return self.metrics.to_prometheus()
+
+    def stage_profile(self) -> dict:
+        """The §4.1.1 per-stage time breakdown (docs/METRICS.md)."""
+        from ..metrics.stages import stage_profile
+
+        return stage_profile(self.metrics)
 
     def install_view(self, new_view: View) -> None:
         """Epoch restart after a view change: tear down the old epoch's

@@ -1,0 +1,495 @@
+"""Tests for the metrics plane (docs/METRICS.md).
+
+Covers the registry (identity, scoping, histogram bucketing, re-entrant
+simulated-time timers), the null/zero-cost path, the JSON/Prometheus
+exporters (golden files), SubgroupStats-as-a-view, the §4.1.1 stage
+profile partition invariant, the byte-identical determinism guarantee,
+and the benchmark artifact plumbing (atomic emit, BENCH_*.json schema,
+CI regression gate).
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.core.config import SpindleConfig
+from repro.core.stats import SubgroupStats
+from repro.metrics import (
+    MetricsRegistry,
+    check_partition,
+    null_registry,
+    registry_enabled_from_env,
+    stage_profile,
+)
+from repro.metrics.registry import NULL_METRIC
+from repro.workloads import Cluster, continuous_sender
+
+BENCH_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "benchmarks")
+
+
+# ---------------------------------------------------------------------------
+# Registry mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_counter_identity_and_monotonicity(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("requests_total", node=1, subgroup=0)
+        c2 = reg.counter("requests_total", subgroup=0, node=1)  # reordered
+        assert c1 is c2
+        c1.inc()
+        c1.inc(4)
+        assert c2.value == 5
+        with pytest.raises(ValueError):
+            c1.inc(-1)
+        c1.set_to(9)
+        with pytest.raises(ValueError):
+            c1.set_to(3)
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(TypeError):
+            reg.gauge("x_total")
+
+    def test_gauge(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("queue_depth")
+        g.set(7)
+        g.add(-2)
+        assert g.value == 5
+
+    def test_scoped_labels_stamp_and_nest(self):
+        reg = MetricsRegistry()
+        node = reg.scoped(node=3)
+        sub = node.scoped(subgroup=1)
+        c = sub.counter("spindle_messages_sent_total")
+        assert dict(c.labels) == {"node": "3", "subgroup": "1"}
+        c.inc(10)
+        # Filtered queries see through scopes.
+        assert reg.value("spindle_messages_sent_total", node=3) == 10
+        assert reg.value("spindle_messages_sent_total", node=4) == 0
+
+    def test_histogram_bucketing(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("batch", buckets=(1, 4, 16))
+        for v in (1, 2, 4, 5, 16, 17, 1000):
+            h.observe(v)
+        # Inclusive upper edges: 1 | 2,4 | 5,16 | +Inf: 17,1000
+        assert h.counts == [1, 2, 2, 2]
+        assert dict(h.cumulative()) == {"1": 1, "4": 3, "16": 5, "+Inf": 7}
+        assert h.count == 7 and h.sum == 1045
+        h.observe(3, count=5)  # weighted observation
+        assert h.count == 12 and h.counts[1] == 7
+        with pytest.raises(ValueError):
+            reg.histogram("bad", buckets=(4, 1))
+
+    def test_timer_explicit_and_clocked(self):
+        now = [0.0]
+        reg = MetricsRegistry(clock=lambda: now[0])
+        t = reg.timer("stage", stage="x")
+        t.add(0.5, count=2)
+        assert (t.total, t.count) == (0.5, 2)
+        t.start()
+        now[0] = 1.25
+        t.stop()
+        assert t.total == pytest.approx(1.75)
+        with pytest.raises(ValueError):
+            t.add(-1.0)
+        with pytest.raises(RuntimeError):
+            t.stop()
+
+    def test_timer_reentrant_nesting_counts_outermost_span(self):
+        """Nested start/stop on one timer bills only the outer span —
+        the simulated clock keeps running across the nesting."""
+        now = [10.0]
+        reg = MetricsRegistry(clock=lambda: now[0])
+        t = reg.timer("stage", stage="y")
+        with t:
+            now[0] = 11.0
+            with t:          # re-entry: must not double-bill
+                now[0] = 12.0
+            now[0] = 13.0
+        assert t.total == pytest.approx(3.0)
+        assert t.count == 1
+
+    def test_collectors_run_at_snapshot_time(self):
+        reg = MetricsRegistry()
+        external = {"drops": 0}
+        reg.add_collector(
+            lambda: reg.counter("drops_total").set_to(external["drops"]))
+        external["drops"] = 3
+        snap = reg.snapshot()
+        assert snap["metrics"]["drops_total"]["value"] == 3
+
+    def test_env_knob(self):
+        assert registry_enabled_from_env(env={}) is True
+        assert registry_enabled_from_env(env={"SPINDLE_METRICS": "0"}) is False
+        assert registry_enabled_from_env(env={"SPINDLE_METRICS": "off"}) is False
+        assert registry_enabled_from_env(env={"SPINDLE_METRICS": "1"}) is True
+
+
+class TestNullRegistry:
+    def test_factories_return_shared_noop(self):
+        reg = null_registry()
+        assert reg is null_registry()
+        assert not reg.enabled
+        c = reg.counter("a_total")
+        assert c is NULL_METRIC
+        assert c is reg.gauge("b") is reg.timer("c") is reg.histogram("d")
+        # All mutators are no-ops; metric is falsy for `if metric:` gating.
+        c.inc(5)
+        c.set_to(10)
+        with reg.timer("t"):
+            pass
+        assert not c
+        assert reg.snapshot()["metrics"] == {}
+
+
+# ---------------------------------------------------------------------------
+# Exporter golden files
+# ---------------------------------------------------------------------------
+
+
+def _golden_registry() -> MetricsRegistry:
+    now = [0.0]
+    reg = MetricsRegistry(clock=lambda: now[0])
+    reg.counter("spindle_demo_total", "demo counter", node=0).inc(3)
+    reg.gauge("spindle_demo_gauge", node=0).set(1.5)
+    h = reg.histogram("spindle_demo_batch", buckets=(1, 2), help="batches")
+    h.observe(1)
+    h.observe(2)
+    h.observe(9)
+    reg.timer("spindle_demo_time", stage="s").add(0.25, count=4)
+    return reg
+
+
+GOLDEN_JSON = """\
+{
+  "metrics": {
+    "spindle_demo_batch": {
+      "buckets": {
+        "+Inf": 3,
+        "1": 1,
+        "2": 2
+      },
+      "count": 3,
+      "kind": "histogram",
+      "sum": 12,
+      "value": null
+    },
+    "spindle_demo_gauge{node=\\"0\\"}": {
+      "kind": "gauge",
+      "value": 1.5
+    },
+    "spindle_demo_time{stage=\\"s\\"}": {
+      "count": 4,
+      "kind": "timer",
+      "total_seconds": 0.25
+    },
+    "spindle_demo_total{node=\\"0\\"}": {
+      "kind": "counter",
+      "value": 3
+    }
+  },
+  "schema_version": 1
+}"""
+
+GOLDEN_PROM = """\
+# HELP spindle_demo_batch batches
+# TYPE spindle_demo_batch histogram
+spindle_demo_batch_bucket{le="1"} 1
+spindle_demo_batch_bucket{le="2"} 2
+spindle_demo_batch_bucket{le="+Inf"} 3
+spindle_demo_batch_sum 12
+spindle_demo_batch_count 3
+# TYPE spindle_demo_gauge gauge
+spindle_demo_gauge{node="0"} 1.5
+# TYPE spindle_demo_time_seconds_total counter
+spindle_demo_time_seconds_total{stage="s"} 0.25
+# TYPE spindle_demo_time_spans_total counter
+spindle_demo_time_spans_total{stage="s"} 4
+# HELP spindle_demo_total demo counter
+# TYPE spindle_demo_total counter
+spindle_demo_total{node="0"} 3
+"""
+
+
+class TestExporters:
+    def test_json_golden(self):
+        got = json.loads(_golden_registry().to_json())
+        want = json.loads(GOLDEN_JSON)
+        # "value": null placeholder in the golden marks absence; drop it.
+        want["metrics"]["spindle_demo_batch"].pop("value")
+        assert got == want
+
+    def test_prometheus_golden(self):
+        assert _golden_registry().to_prometheus() == GOLDEN_PROM
+
+
+# ---------------------------------------------------------------------------
+# SubgroupStats as a registry view
+# ---------------------------------------------------------------------------
+
+
+class TestSubgroupStatsView:
+    def test_records_flow_into_registry(self):
+        reg = MetricsRegistry()
+        stats = SubgroupStats(registry=reg, node=2, subgroup=0)
+        for _ in range(3):
+            stats.record_send(0.0)
+        stats.record_received(7)
+        stats.record_nulls_sent(2)
+        stats.record_blocked_send()
+        stats.add_sender_wait(0.5)
+        assert stats.sent == 3
+        assert stats.received == 7
+        assert stats.nulls_sent == 2
+        assert stats.sends_blocked == 1
+        assert stats.sender_wait_time == pytest.approx(0.5)
+        # ... and the same numbers are visible registry-side, labelled.
+        assert reg.value("spindle_messages_sent_total", node=2) == 3
+        assert reg.value("spindle_messages_received_total", node=2) == 7
+
+    def test_disabled_registry_falls_back_to_private_store(self):
+        """Protocol logic reads stats even when fabric metrics are off."""
+        stats = SubgroupStats(registry=null_registry(), node=0, subgroup=0)
+        for _ in range(5):
+            stats.record_send(0.0)
+        stats.record_delivery(1.0, 0, 100, queued_at=0.5)
+        assert stats.sent == 5
+        assert stats.delivered == 1
+        assert stats.bytes_delivered == 100
+
+
+# ---------------------------------------------------------------------------
+# Cluster integration: profile partition + determinism
+# ---------------------------------------------------------------------------
+
+
+def _run_cluster(n=4, count=60, seed=0):
+    cluster = Cluster(n, config=SpindleConfig.optimized(), seed=seed)
+    cluster.add_subgroup(window=20, message_size=2048)
+    cluster.build()
+    for nid in cluster.node_ids:
+        cluster.spawn_sender(continuous_sender(
+            cluster.mc(nid, 0), count=count, size=2048))
+    cluster.run_to_quiescence(max_time=30.0)
+    cluster.assert_all_delivered(0, per_sender=count)
+    return cluster
+
+
+class TestClusterMetrics:
+    def test_stage_partition_within_5pct_of_busy_time(self):
+        cluster = _run_cluster()
+        profile = stage_profile(cluster.metrics)
+        ok, deviation = check_partition(profile, tolerance=0.05)
+        assert ok, f"stage partition off by {deviation:.2%}"
+        assert profile["predicate_busy"] > 0
+        # The partition also matches the threads' own busy-time sums.
+        busy = sum(cluster.group(nid).thread.busy_time
+                   for nid in cluster.node_ids)
+        assert profile["partition_total"] == pytest.approx(busy, rel=0.05)
+
+    def test_snapshot_contains_expected_families(self):
+        cluster = _run_cluster(count=30)
+        snap = cluster.metrics_snapshot()
+        names = {key.split("{")[0] for key in snap["metrics"]}
+        for family in (
+            "spindle_messages_sent_total",
+            "spindle_messages_delivered_total",
+            "spindle_smc_writes_total",
+            "spindle_sst_pushes_total",
+            "spindle_stage_time_seconds",
+            "spindle_predicate_busy_seconds",
+            "spindle_nic_writes_posted_total",
+            "spindle_rdma_writes_posted_total",
+            "spindle_batch_size",
+            "spindle_delivery_latency_seconds",
+        ):
+            assert family in names, family
+        # Fabric mirrors agree with the NIC-side ground truth.
+        assert (snap["metrics"]["spindle_rdma_writes_posted_total"]["value"]
+                == cluster.fabric.total_writes_posted())
+
+    def test_same_seed_runs_export_byte_identical_json(self):
+        json_a = _run_cluster(count=40, seed=7).metrics_json()
+        json_b = _run_cluster(count=40, seed=7).metrics_json()
+        assert json_a == json_b
+
+    def test_different_seed_changes_nothing_structural(self):
+        # Different seeds may reorder deliveries but keep schema valid.
+        snap = json.loads(_run_cluster(count=30, seed=3).metrics_json())
+        assert snap["schema_version"] == 1
+        assert snap["metrics"]
+
+    def test_disabled_cluster_metrics_keep_protocol_working(self):
+        cluster = Cluster(3, config=SpindleConfig.optimized(),
+                          metrics=MetricsRegistry(enabled=False))
+        cluster.add_subgroup(window=10, message_size=1024)
+        cluster.build()
+        for nid in cluster.node_ids:
+            cluster.spawn_sender(continuous_sender(
+                cluster.mc(nid, 0), count=20, size=1024))
+        cluster.run_to_quiescence(max_time=30.0)
+        cluster.assert_all_delivered(0, per_sender=20)
+        assert cluster.metrics_snapshot()["metrics"] == {}
+        # Local stats still work (private fallback registry).
+        assert cluster.group(0).stats(0).delivered == 60
+
+
+# ---------------------------------------------------------------------------
+# CLI subcommand
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsCli:
+    def run(self, capsys, *argv):
+        from repro.cli import main
+
+        code = main(list(argv))
+        return code, capsys.readouterr().out
+
+    def test_profile_partitions_busy_time(self, capsys):
+        code, out = self.run(capsys, "metrics", "--nodes", "4",
+                             "--count", "40", "--profile")
+        assert code == 0
+        assert "predicate busy" in out
+        assert "partition check" in out and "ok" in out
+
+    def test_json_format(self, capsys):
+        code, out = self.run(capsys, "metrics", "--nodes", "2",
+                             "--count", "20", "--format", "json")
+        assert code == 0
+        snap = json.loads(out)
+        assert snap["schema_version"] == 1
+
+    def test_prom_format(self, capsys):
+        code, out = self.run(capsys, "metrics", "--nodes", "2",
+                             "--count", "20", "--format", "prom")
+        assert code == 0
+        assert "# TYPE spindle_messages_sent_total counter" in out
+
+
+# ---------------------------------------------------------------------------
+# Benchmark artifact plumbing (benchmarks/_common.py + CI gate)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def bench_common(monkeypatch):
+    monkeypatch.syspath_prepend(BENCH_DIR)
+    import _common
+
+    return _common
+
+
+class TestBenchArtifacts:
+    def test_emit_is_atomic_and_newline_normalized(self, bench_common,
+                                                   monkeypatch, tmp_path,
+                                                   capsys):
+        monkeypatch.setattr(bench_common, "RESULTS_DIR", str(tmp_path))
+        bench_common.emit("demo", "line1\r\nline2\n\n\n")
+        body = (tmp_path / "demo.txt").read_bytes()
+        assert body == b"line1\nline2\n"
+        assert not list(tmp_path.glob("*.tmp"))  # no temp litter
+
+    def test_emit_bench_json_schema(self, bench_common, monkeypatch,
+                                    tmp_path):
+        monkeypatch.setenv("SPINDLE_BENCH_DIR", str(tmp_path))
+        path = bench_common.emit_bench_json(
+            "demo",
+            {"thr": 2.5, "lat_us": (9.0, False),
+             "x": {"value": 1, "higher_is_better": True}},
+            extra={"nodes": 4})
+        data = json.loads(open(path, encoding="utf-8").read())
+        assert data["schema_version"] == bench_common.BENCH_SCHEMA_VERSION
+        assert data["name"] == "demo"
+        assert data["scalars"]["thr"] == {"value": 2.5,
+                                          "higher_is_better": True}
+        assert data["scalars"]["lat_us"] == {"value": 9.0,
+                                             "higher_is_better": False}
+        assert data["extra"] == {"nodes": 4}
+
+    def test_quick_mode_pick(self, bench_common, monkeypatch):
+        monkeypatch.delenv("SPINDLE_BENCH_QUICK", raising=False)
+        assert bench_common.pick("full", "quick") == "full"
+        monkeypatch.setenv("SPINDLE_BENCH_QUICK", "1")
+        assert bench_common.pick("full", "quick") == "quick"
+
+
+class TestRegressionGate:
+    def _gate(self):
+        sys.path.insert(0, BENCH_DIR)
+        try:
+            import check_regressions
+        finally:
+            sys.path.remove(BENCH_DIR)
+        return check_regressions
+
+    def _artifact(self, name, **scalars):
+        return {
+            "schema_version": 1, "name": name,
+            "scalars": {k: {"value": v[0], "higher_is_better": v[1]}
+                        for k, v in scalars.items()},
+        }
+
+    def test_detects_regressions_in_both_directions(self):
+        gate = self._gate()
+        base = self._artifact("demo", thr=(10.0, True), lat=(10.0, False))
+        # thr down 30% (bad), lat up 30% (bad) -> two failures.
+        cur = self._artifact("demo", thr=(7.0, True), lat=(13.0, False))
+        _, failures = gate.compare(cur, base, threshold=0.25, waived=set())
+        assert set(failures) == {"demo.thr", "demo.lat"}
+        # Within tolerance: 20% either way passes.
+        cur = self._artifact("demo", thr=(8.0, True), lat=(12.0, False))
+        _, failures = gate.compare(cur, base, threshold=0.25, waived=set())
+        assert failures == []
+        # Improvements never fail, however large.
+        cur = self._artifact("demo", thr=(100.0, True), lat=(0.1, False))
+        _, failures = gate.compare(cur, base, threshold=0.25, waived=set())
+        assert failures == []
+
+    def test_waivers(self):
+        gate = self._gate()
+        base = self._artifact("demo", thr=(10.0, True))
+        cur = self._artifact("demo", thr=(1.0, True))
+        _, failures = gate.compare(cur, base, threshold=0.25,
+                                   waived={"demo.thr"})
+        assert failures == []
+        _, failures = gate.compare(cur, base, threshold=0.25,
+                                   waived={"demo"})
+        assert failures == []
+
+    def test_gate_main_end_to_end(self, tmp_path, monkeypatch, capsys):
+        gate = self._gate()
+        art = tmp_path / "BENCH_demo.json"
+        art.write_text(json.dumps(self._artifact("demo", thr=(5.0, True))))
+        baselines = tmp_path / "baselines"
+        baselines.mkdir()
+        (baselines / "BENCH_demo.json").write_text(
+            json.dumps(self._artifact("demo", thr=(10.0, True))))
+        monkeypatch.setattr(gate, "BASELINE_DIR", str(baselines))
+        monkeypatch.setattr(gate, "OVERRIDES_FILE",
+                            str(baselines / "OVERRIDES"))
+        assert gate.main(["--dir", str(tmp_path)]) == 1
+        capsys.readouterr()
+        (baselines / "OVERRIDES").write_text("demo.thr  accepted\n")
+        assert gate.main(["--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "waived" in out
+
+    def test_gate_rejects_bad_schema_and_min_artifacts(self, tmp_path,
+                                                       monkeypatch, capsys):
+        gate = self._gate()
+        art = tmp_path / "BENCH_bad.json"
+        art.write_text(json.dumps({"schema_version": 99, "name": "bad",
+                                   "scalars": {}}))
+        assert gate.main(["--dir", str(tmp_path)]) == 2
+        capsys.readouterr()
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert gate.main(["--dir", str(empty), "--min-artifacts", "4"]) == 2
