@@ -80,6 +80,8 @@ class KvNode:
         self.data: Dict[bytes, bytes] = {}
         self.applied = 0
         self.cas_failures = 0
+        #: Commands applied via recovery replay (apply_command).
+        self.recovered = 0
         #: verification hook: (seq, op, key) of every applied command.
         self.apply_log: List[Tuple[int, int, bytes]] = []
         self._fence_waiters: Dict[Tuple[int, int], Event] = {}
@@ -179,6 +181,67 @@ class KvNode:
         for key, value in self.data.items():
             total ^= hash((key, value))
         return total
+
+    # ------------------------------------------------------------- recovery
+
+    def snapshot(self) -> bytes:
+        """Deterministic serialization of the replica state (sorted, so
+        two replicas with equal state produce identical bytes)."""
+        parts = [struct.pack("<I", len(self.data))]
+        for key in sorted(self.data):
+            value = self.data[key]
+            parts.append(struct.pack("<HI", len(key), len(value)))
+            parts.append(key)
+            parts.append(value)
+        return b"".join(parts)
+
+    def restore(self, blob: bytes) -> None:
+        """Load a :meth:`snapshot` (recovery: replaces current state)."""
+        (count,) = struct.unpack_from("<I", blob)
+        offset = 4
+        data: Dict[bytes, bytes] = {}
+        for _ in range(count):
+            key_len, value_len = struct.unpack_from("<HI", blob, offset)
+            offset += 6
+            key = blob[offset:offset + key_len]
+            offset += key_len
+            data[key] = blob[offset:offset + value_len]
+            offset += value_len
+        self.data = data
+
+    def apply_command(self, payload: Optional[bytes]) -> None:
+        """Apply one durable-log payload during recovery replay.
+
+        Pure state transition: no waiters fire and ``apply_log`` is not
+        extended (sequence numbers reset per epoch, so replayed log
+        positions don't map onto this epoch's seqs). ``None`` payloads
+        (control entries) are skipped.
+        """
+        if payload is None:
+            return
+        op, key, expected, value = KvCommand.decode(payload)
+        if op == _OP_PUT:
+            self.data[key] = value
+        elif op == _OP_DELETE:
+            self.data.pop(key, None)
+        elif op == _OP_CAS:
+            if self.data.get(key, b"") == expected:
+                self.data[key] = value
+        elif op != _OP_FENCE:
+            raise ValueError(f"unknown KV op {op}")
+        self.recovered += 1
+
+    def rebind(self, mc: SubgroupMulticast) -> None:
+        """Re-attach this replica to a new epoch's multicast endpoint
+        (view change / rejoin). State carries over; in-flight waiters
+        are cleared — their epoch died, and sequence numbers reset, so a
+        stale waiter could otherwise capture a new message's token."""
+        if mc.delivery_mode != "atomic":
+            raise ValueError("the KV store requires atomic delivery")
+        self.mc = mc
+        self.node_id = mc.node_id
+        self._write_waiters.clear()
+        self._fence_waiters.clear()
 
 
 def attach_store(group_node, subgroup_id: int) -> KvNode:

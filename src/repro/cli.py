@@ -218,6 +218,109 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_recover(args) -> int:
+    """Run a crash → replay → transfer → rejoin pipeline in-process and
+    print the recovery audit: per-stage timers, chunked-transfer stats,
+    the trim ledger, and the cross-view virtual-synchrony verifier
+    verdict (docs/RECOVERY.md)."""
+    import json
+
+    from .faults.scenarios import (_Harness, _kv_rebuild_applier,
+                                   _wire_kv_epochs)
+    from .recovery import RecoveryConfig, TransferConfig, VsyncVerifier
+    from .sim.units import ms
+
+    crash_node = (args.crash_node if args.crash_node is not None
+                  else args.nodes - 1)
+    if not 0 <= crash_node < args.nodes:
+        print("recover: --crash-node out of range", file=sys.stderr)
+        return 2
+
+    h = _Harness(args.nodes, args.seed, size=256, window=8, persistent=True,
+                 membership=dict(heartbeat_period=us(100),
+                                 suspicion_timeout=us(500)))
+    h.track_epochs()
+    cluster = h.cluster
+    stores: dict = {}
+    _wire_kv_epochs(h, stores, puts_per_writer=args.puts, value_pad=32,
+                    writer_gap=us(40))
+    coord = cluster.enable_recovery(RecoveryConfig(transfer=TransferConfig(
+        chunk_size=args.chunk_size,
+        chunk_timeout=us(args.chunk_timeout_us),
+        drop_chunks=frozenset(args.drop_chunk or ()))))
+    coord.set_applier(0, _kv_rebuild_applier(stores))
+    coord.set_checksum(0, lambda nid: stores[nid].checksum())
+    verifier = VsyncVerifier(cluster)
+
+    cluster.faults.crash(crash_node, at=ms(args.crash_ms),
+                         restart_at=ms(args.restart_ms))
+    cluster.run(until=ms(args.until_ms))
+
+    report = coord.reports.get(crash_node)
+    vs = verifier.check()
+
+    if args.json:
+        print(json.dumps({
+            "report": report.to_dict() if report is not None else None,
+            "vsync": vs.to_dict(),
+            "trim_ledger": cluster.trim_ledger.to_dict(),
+            "final_view": {"view_id": cluster.view.view_id,
+                           "members": list(cluster.view.members)},
+        }, indent=2, sort_keys=True))
+    else:
+        if report is None:
+            print(f"recover: node {crash_node} never restarted "
+                  f"(no recovery report)", file=sys.stderr)
+            return 1
+        rows = [["state", report.state],
+                ["started (ms)", f"{report.started_at * 1e3:.3f}"],
+                ["finished (ms)", f"{report.finished_at * 1e3:.3f}"],
+                ["rejoin view", str(report.rejoin_view_id)],
+                ["cut retries", str(report.cut_retries)]]
+        for stage, secs in report.stage_seconds.items():
+            rows.append([f"stage {stage} (us)", f"{secs * 1e6:.1f}"])
+        for sg_id in sorted(report.replayed):
+            rows.append([f"sg{sg_id} replayed / fetched",
+                         f"{report.replayed.get(sg_id, 0)} / "
+                         f"{report.fetched.get(sg_id, 0)} entries"])
+        for sg_id, xfer in sorted(report.transfers.items()):
+            rows.append([f"sg{sg_id} transfer",
+                         f"{xfer.bytes_transferred} B over {xfer.chunks} "
+                         f"chunks from node {xfer.source} "
+                         f"(sources tried: {xfer.sources_used})"])
+            rows.append([f"sg{sg_id} retries",
+                         f"{xfer.timeouts} timeouts "
+                         f"({xfer.injected_timeouts} injected), "
+                         f"{xfer.failovers} failovers, backoff "
+                         f"{xfer.backoff_total * 1e6:.0f} us"])
+        for sg_id, ok in sorted(report.checksum_ok.items()):
+            rows.append([f"sg{sg_id} checksum vs source",
+                         {True: "match", False: "MISMATCH",
+                          None: "no hook"}[ok]])
+        print(format_table(["recovery", "value"], rows))
+        print()
+        trims = [[str(d.prior_view_id), str(d.next_view_id), d.kind,
+                  ", ".join(f"sg{sg}={t}"
+                            for sg, t in sorted(d.trims.items()))]
+                 for d in cluster.trim_ledger.committed.values()]
+        if trims:
+            print(format_table(
+                ["ending view", "next view", "kind", "trims"], trims))
+            print()
+        print(f"final view: {cluster.view.view_id} "
+              f"members={cluster.view.members}")
+        print(f"vsync: {'ok' if vs.ok else 'FAIL'} — "
+              f"{vs.deliveries_checked} deliveries over "
+              f"{vs.epochs_checked} epochs"
+              + ("" if vs.ok else f"; {vs.violations[:3]}"))
+        for problem in report.problems:
+            print(f"problem: {problem}", file=sys.stderr)
+
+    ok = (report is not None and report.done and vs.ok
+          and not report.problems)
+    return 0 if ok else 1
+
+
 def cmd_metrics(args) -> int:
     """Run a workload in-process and print the metrics registry
     (docs/METRICS.md): a snapshot in table/JSON/Prometheus form, and —
@@ -405,6 +508,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write failing-run artifacts (seed + schedule "
                         "JSON) here for CI upload")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "recover",
+        help="crash → replay → transfer → rejoin demo with the full "
+             "recovery audit (docs/RECOVERY.md)")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--crash-node", type=int, default=None,
+                   help="node to crash + recover (default: last node)")
+    p.add_argument("--crash-ms", type=float, default=1.0,
+                   help="crash time in simulated ms (default 1)")
+    p.add_argument("--restart-ms", type=float, default=8.0,
+                   help="NIC revival time in simulated ms (default 8)")
+    p.add_argument("--until-ms", type=float, default=30.0,
+                   help="total simulated run time in ms (default 30)")
+    p.add_argument("--puts", type=int, default=12,
+                   help="KV PUTs per writer per epoch (default 12)")
+    p.add_argument("--chunk-size", type=int, default=512,
+                   help="state-transfer chunk payload bytes (default 512)")
+    p.add_argument("--chunk-timeout-us", type=float, default=300.0,
+                   help="per-chunk timeout in us (default 300)")
+    p.add_argument("--drop-chunk", type=int, action="append", default=None,
+                   metavar="IDX",
+                   help="deterministically swallow this chunk's first "
+                        "attempt (repeatable; forces timeout + backoff)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full audit as JSON")
+    p.set_defaults(fn=cmd_recover)
 
     p = sub.add_parser(
         "metrics",

@@ -44,9 +44,18 @@ class StorageModel:
     append_base: float = us(2.0)
     #: Sequential write bandwidth, bytes/second.
     write_bandwidth: float = gb_per_s(2.0)
+    #: Sequential read bandwidth, bytes/second (durable-log replay on
+    #: restart, docs/RECOVERY.md).
+    read_bandwidth: float = gb_per_s(3.0)
+    #: Fixed overhead per replay (open + first-block seek).
+    read_base: float = us(5.0)
 
     def append_time(self, total_bytes: int) -> float:
         return self.append_base + total_bytes / self.write_bandwidth
+
+    def read_time(self, total_bytes: int) -> float:
+        """Time to stream ``total_bytes`` back off the device."""
+        return self.read_base + total_bytes / self.read_bandwidth
 
 
 class PersistenceEngine:
@@ -67,6 +76,12 @@ class PersistenceEngine:
         self.persisted_seq = -1      # locally durable watermark
         self.durable_seq = -1        # globally durable watermark
         self.batches = 0
+        #: Entries seeded from a prior epoch's log via :meth:`adopt_log`
+        #: (carryover across view changes / recovery state transfer).
+        self.adopted_entries = 0
+        #: True while the storage thread is mid-batch (between draining
+        #: the queue and finishing the SSD append + watermark publish).
+        self._appending = False
         self.on_durable: List[Callable[[int], None]] = []
         self._proc = None
         self.predicate = _DurabilityPredicate(self)
@@ -104,6 +119,7 @@ class PersistenceEngine:
         while True:
             while self._queue:
                 # Batched append: drain everything queued right now.
+                self._appending = True
                 batch = []
                 total = 0
                 while self._queue:
@@ -116,6 +132,7 @@ class PersistenceEngine:
                 self.log_bytes += total
                 self.batches += 1
                 self.persisted_seq = batch[-1][0]
+                self._appending = False
                 # Publish the new durable watermark (needs the shared
                 # lock: the column is shared protocol state).
                 yield mc.thread.lock.acquire()
@@ -126,6 +143,39 @@ class PersistenceEngine:
                     [m for m in mc.members if m != mc.node_id],
                 )
             yield self._bell.wait()
+
+    # ------------------------------------------------------------- carryover
+
+    def adopt_log(self, log, log_bytes: Optional[int] = None) -> None:
+        """Seed this (fresh) engine with a prior epoch's durable log.
+
+        Used by :meth:`Cluster.install_view
+        <repro.workloads.cluster.Cluster.install_view>` to carry each
+        node's on-SSD log across the epoch restart, and by the recovery
+        plane to hand a rejoining member its replayed-plus-transferred
+        log. Only a *pristine* engine may adopt (the durable log is
+        append-only; splicing into a log that already took appends would
+        reorder history), so calling this on a non-empty log raises.
+        """
+        if self.log or self._queue or self._appending:
+            raise RuntimeError(
+                "adopt_log on a non-pristine engine: the durable log is "
+                "append-only and must be seeded before any append"
+            )
+        entries = [tuple(entry) for entry in log]
+        if log_bytes is None:
+            log_bytes = sum(len(p) for _s, _n, p in entries if p is not None)
+        self.log = entries
+        self.log_bytes = log_bytes
+        self.adopted_entries = len(entries)
+
+    @property
+    def drained(self) -> bool:
+        """True when every enqueued delivery has reached the log (no
+        queued entries and no batch mid-append). The recovery plane
+        polls this during a join cut: once the wedged epoch's engines
+        drain, the survivors' logs are final."""
+        return not self._queue and not self._appending
 
     # --------------------------------------------------------------- queries
 

@@ -58,6 +58,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..predicates.framework import Predicate
+from ..recovery.trim import compute_trim
 from ..sim.units import us
 from ..sst.fields import SSTLayout
 from ..sst.push import GuardedValue
@@ -133,6 +134,10 @@ class MembershipService:
         self.pending_proposal: Optional[tuple] = None
         self.new_view: Optional[View] = None
         self.on_new_view: List[Callable[[View], None]] = []
+        #: Optional :class:`~repro.recovery.trim.TrimLedger` recording
+        #: every proposal/commit for the virtual-synchrony verifier
+        #: (wired by the Cluster; None = no auditing).
+        self.trim_ledger = None
         self._hb_prev: Dict[int, Tuple[int, float]] = {}
         #: member -> time the *local* (unpublished) suspicion started.
         self.local_suspects: Dict[int, float] = {}
@@ -336,13 +341,26 @@ class _MembershipPredicate(Predicate):
             svc.proposed = True
             failed = tuple(m for m in svc.members if svc.is_suspected(m))
             svc.published_failed = failed
-            survivors = [m for m in svc.members if m not in failed]
-            trims = tuple(
-                (sg_id, min(sst.read(m, mc.cols.received) for m in survivors
-                            if m in mc.members))
-                for sg_id, mc in sorted(svc.group.multicasts.items())
+            # Ragged-edge trim (paper §2.1): per subgroup, the minimum
+            # received_num over the survivors — formalized in
+            # repro.recovery.trim so the decision is auditable.
+            decision = compute_trim(
+                prior_view_id=svc.view.view_id,
+                next_view_id=svc.view.view_id + 1,
+                leader=svc.group.node_id,
+                failed=failed,
+                subgroup_members={
+                    sg_id: list(mc.members)
+                    for sg_id, mc in sorted(svc.group.multicasts.items())
+                },
+                received_of=lambda m, sg_id: sst.read(
+                    m, svc.group.multicasts[sg_id].cols.received),
+                decided_at=svc.sim.now,
+                kind="failure",
             )
-            payload = (svc.view.view_id + 1, failed, trims)
+            if svc.trim_ledger is not None:
+                svc.trim_ledger.propose(decision)
+            payload = (svc.view.view_id + 1, failed, decision.trims_tuple())
             return svc.proposal.publish(payload)
 
         if action == self._INSTALL:
@@ -364,7 +382,10 @@ class _MembershipPredicate(Predicate):
 
         if action == self._COMMIT:
             svc.installed = True
-            new_view_id, failed, _trims = svc.pending_proposal
+            new_view_id, failed, trims = svc.pending_proposal
+            if svc.trim_ledger is not None:
+                svc.trim_ledger.commit(new_view_id, trims,
+                                       committer=svc.group.node_id)
             # The successor view comes from the proposal payload, so
             # every committer of this proposal installs the same view;
             # suspicions that arrived too late for it are handled by the

@@ -125,8 +125,12 @@ class FaultPlane:
         if metrics.enabled:
             metrics.add_collector(self._mirror_counters)
         #: Fired as ``callback(node_id)`` when a crashed node's NIC is
-        #: revived; protocol re-admission is the application's move
-        #: (``Cluster.install_view`` with a joined view).
+        #: revived. Protocol re-admission happens at the next epoch
+        #: boundary; subscribe a
+        #: :class:`~repro.recovery.coordinator.RecoveryCoordinator`
+        #: (``cluster.recovery``) to drive replay → state transfer →
+        #: rejoin automatically (docs/RECOVERY.md), or install a joined
+        #: view by hand.
         self.on_restart: List[Callable[[int], None]] = []
         #: Fired as ``callback()`` after each partition/sever heals.
         self.on_heal: List[Callable[[], None]] = []
@@ -357,8 +361,13 @@ class FaultPlane:
         rdma_node = self.fabric.nodes[node]
         if rdma_node.alive:
             return
-        rdma_node.alive = True
-        rdma_node.egress_free_at = max(rdma_node.egress_free_at, self.sim.now)
+        restart = getattr(self.cluster, "restart_node", None)
+        if restart is not None:
+            restart(node)  # NIC revival + live/dead bookkeeping
+        else:
+            rdma_node.alive = True
+            rdma_node.egress_free_at = max(rdma_node.egress_free_at,
+                                           self.sim.now)
         self.restarts += 1
         for callback in self.on_restart:
             callback(node)

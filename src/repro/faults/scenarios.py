@@ -74,14 +74,16 @@ class _Harness:
 
     def __init__(self, num_nodes: int, seed: int, *,
                  membership: Optional[dict] = None,
-                 count: int = 0, size: int = 512, window: int = 10):
+                 count: int = 0, size: int = 512, window: int = 10,
+                 persistent: bool = False):
         from ..analysis.trace import Tracer
         from ..core.config import SpindleConfig
         from ..workloads import Cluster, continuous_sender
 
         self.cluster = Cluster(num_nodes=num_nodes,
                                config=SpindleConfig.optimized(), seed=seed)
-        self.cluster.add_subgroup(message_size=size, window=window)
+        self.cluster.add_subgroup(message_size=size, window=window,
+                                  persistent=persistent)
         if membership is not None:
             self.cluster.enable_membership(**membership)
         self.cluster.build()
@@ -104,6 +106,27 @@ class _Harness:
                     self.cluster.mc(nid, 0), count=count, size=size))
         self.count = count
         self.size = size
+
+    # ---------------------------------------------------------- multi-epoch
+
+    def track_epochs(self) -> None:
+        """Keep the delivery-log and view recorders alive across epoch
+        restarts (groups are rebuilt per view, so the hooks registered
+        at build time die with the first view — recovery scenarios span
+        several). Registered *after* build, so the initial view (whose
+        install already fired) is not double-hooked."""
+        def rewire(_view) -> None:
+            for nid, group in self.cluster.groups.items():
+                log = self.logs.setdefault(nid, [])
+                group.on_delivery(
+                    0, lambda d, log=log: log.append(
+                        (d.seq, d.sender, d.size)))
+                if group.membership is not None:
+                    views = self.views.setdefault(nid, [])
+                    group.membership.on_new_view.append(
+                        lambda v, views=views: views.append(v.members))
+
+        self.cluster.on_view_installed.append(rewire)
 
     # ------------------------------------------------------------- reporting
 
@@ -306,6 +329,234 @@ def scenario_crash_restart(seed: int) -> ScenarioResult:
     return h.result("crash-restart", seed, problems)
 
 
+def _wire_kv_epochs(h: _Harness, stores: dict, *,
+                    puts_per_writer: int, value_pad: int,
+                    writer_gap: float) -> None:
+    """Attach a replicated KV store (apps.kvstore) to subgroup 0 of
+    every member and spawn one epoch-tagged writer per member on every
+    installed view (the initial view included).
+
+    Recovery scenarios cannot use ``continuous_sender`` — a wedged epoch
+    would raise out of it — so each writer issues a bounded burst of
+    PUTs with unique per-(view, node) keys and stops cleanly when the
+    epoch wedges under it. Stores are *rebound* across epochs (replica
+    state carries over, per-epoch waiters are dropped); a node first
+    seen in a later view (the rejoiner) gets a fresh store, which the
+    recovery applier then rebuilds from the durable log.
+    """
+    from ..apps.kvstore import attach_store
+
+    cluster = h.cluster
+
+    def writer(store, view_id: int, nid: int):
+        try:
+            for i in range(puts_per_writer):
+                key = b"k%d.%d.%d" % (view_id, nid, i)
+                value = (b"v%d.%d.%d" % (view_id, nid, i)).ljust(
+                    value_pad, b".")
+                yield from store.put(key, value)
+                yield writer_gap
+        except RuntimeError:
+            return  # epoch wedged mid-write: the view change wins
+
+    def start_epoch(view) -> None:
+        for nid, group in cluster.groups.items():
+            store = stores.get(nid)
+            if store is None:
+                stores[nid] = store = attach_store(group, 0)
+            else:
+                store.rebind(group.subgroup(0))
+                group.on_delivery(0, store.apply)
+            cluster.spawn_sender(writer(store, view.view_id, nid),
+                                 name=f"kv-writer-v{view.view_id}-n{nid}")
+
+    cluster.on_view_installed.append(start_epoch)
+    start_epoch(cluster.view)
+
+
+def _kv_rebuild_applier(stores: dict):
+    """Recovery applier: wipe the rejoiner's (volatile, crash-lost) KV
+    state and replay the complete durable log through the pure
+    state-transition path."""
+    def rebuild(node: int, entries) -> None:
+        store = stores[node]
+        store.data.clear()
+        for _seq, _sender, payload in entries:
+            store.apply_command(payload)
+    return rebuild
+
+
+def scenario_crash_restart_rejoin(seed: int) -> ScenarioResult:
+    """Full crash-recovery loop (docs/RECOVERY.md): node 3 crash-stops
+    at 1 ms and its NIC revives at 8 ms. The survivors reconfigure
+    around it (view 1); on restart the recovery coordinator replays the
+    node's durable log off its SSD, pulls the missed delta over the
+    wire — with chunk 0's first attempt deterministically dropped, so
+    the per-chunk timeout + exponential-backoff path is exercised —
+    cuts a join epoch (wedge, settle, ``kind="join"`` trim, drain, tail
+    sync) and installs view 2 with the node readmitted. The rejoiner's
+    KV state must converge to a byte-identical checksum and the
+    cross-view virtual-synchrony verifier must find zero violations."""
+    from ..recovery import RecoveryConfig, TransferConfig, VsyncVerifier
+
+    h = _Harness(4, seed, size=256, window=8, persistent=True,
+                 membership=dict(heartbeat_period=us(100),
+                                 suspicion_timeout=us(500)))
+    h.track_epochs()
+    cluster = h.cluster
+    stores: Dict[int, object] = {}
+    _wire_kv_epochs(h, stores, puts_per_writer=12, value_pad=24,
+                    writer_gap=us(40))
+    coord = cluster.enable_recovery(RecoveryConfig(
+        transfer=TransferConfig(chunk_size=512, chunk_timeout=us(300),
+                                drop_chunks=frozenset({0}))))
+    coord.set_applier(0, _kv_rebuild_applier(stores))
+    coord.set_checksum(0, lambda nid: stores[nid].checksum())
+    verifier = VsyncVerifier(cluster)
+
+    cluster.faults.crash(3, at=ms(1), restart_at=ms(8))
+    cluster.run(until=ms(30))
+
+    problems: List[str] = []
+    counters = cluster.faults.counters()
+    if counters["restarts"] != 1:
+        problems.append("restart event did not fire")
+    report = coord.reports.get(3)
+    if report is None or not report.done:
+        state = report.state if report is not None else "no report"
+        extra = report.problems if report is not None else []
+        problems.append(f"node 3 did not complete recovery "
+                        f"(state={state}, {extra})")
+    else:
+        xfer = report.transfers.get(0)
+        if xfer is None or not xfer.ok:
+            problems.append("no successful delta transfer recorded")
+        else:
+            if xfer.injected_timeouts < 1:
+                problems.append("injected chunk drop never fired")
+            if xfer.timeouts < 1:
+                problems.append("per-chunk timeout path was not exercised")
+            if xfer.backoff_total <= 0.0:
+                problems.append("no backoff delay was accumulated")
+        if report.replayed.get(0, 0) <= 0:
+            problems.append("rejoiner replayed nothing from its durable log")
+        if report.fetched.get(0, 0) <= 0:
+            problems.append("no delta entries moved over the wire")
+        if report.checksum_ok.get(0) is not True:
+            problems.append(f"post-rejoin checksum validation failed "
+                            f"({report.checksum_ok.get(0)})")
+        if report.rejoin_view_id is None or report.rejoin_view_id < 2:
+            problems.append(f"rejoin view {report.rejoin_view_id} is not "
+                            f"a later view")
+    if cluster.view.members != (0, 1, 2, 3):
+        problems.append(f"final view {cluster.view.members} does not "
+                        f"readmit node 3")
+    elif cluster.view.view_id < 2:
+        problems.append(f"final view id {cluster.view.view_id} < 2")
+    sums = {nid: stores[nid].checksum() for nid in sorted(stores)}
+    if len(set(sums.values())) != 1:
+        problems.append(f"replica checksums diverge after rejoin: {sums}")
+    vs = verifier.check()
+    if not vs.ok:
+        problems.extend(f"vsync {v}" for v in vs.violations[:5])
+    if len(verifier.views) < 3:
+        problems.append(f"expected >=2 view changes, saw views "
+                        f"{sorted(verifier.views)}")
+    notes = []
+    if report is not None and report.done:
+        xfer = report.transfers[0]
+        notes = [f"replayed {report.replayed[0]} entries, fetched "
+                 f"{report.fetched[0]} over {xfer.chunks} chunks",
+                 f"timeouts {xfer.timeouts} (injected "
+                 f"{xfer.injected_timeouts}), backoff "
+                 f"{xfer.backoff_total * 1e6:.0f} us",
+                 f"vsync: {vs.deliveries_checked} deliveries over "
+                 f"{vs.epochs_checked} epochs"]
+    return h.result("crash-restart-rejoin", seed, problems, notes)
+
+
+def scenario_mid_transfer_source_crash(seed: int) -> ScenarioResult:
+    """Recovery under fire: node 4 crashes at 1 ms and revives at 6 ms;
+    its state transfer is stretched (small chunks + inter-chunk gap) so
+    that node 0 — the transfer source — crash-stops at 8 ms mid-stream.
+    The transfer must fail over to the next live source and restart
+    from chunk 0 (no cross-source splicing), while the concurrent
+    failure view change (view 2 excludes node 0) races the join cut.
+    Node 4 must still rejoin, converge, and the verifier must hold
+    across all three view transitions."""
+    from ..recovery import RecoveryConfig, TransferConfig, VsyncVerifier
+
+    h = _Harness(5, seed, size=256, window=8, persistent=True,
+                 membership=dict(heartbeat_period=us(100),
+                                 suspicion_timeout=us(500)))
+    h.track_epochs()
+    cluster = h.cluster
+    stores: Dict[int, object] = {}
+    _wire_kv_epochs(h, stores, puts_per_writer=18, value_pad=48,
+                    writer_gap=us(40))
+    coord = cluster.enable_recovery(RecoveryConfig(
+        transfer=TransferConfig(chunk_size=256, chunk_timeout=us(250),
+                                inter_chunk_gap=us(100))))
+    coord.set_applier(0, _kv_rebuild_applier(stores))
+    coord.set_checksum(0, lambda nid: stores[nid].checksum())
+    verifier = VsyncVerifier(cluster)
+
+    cluster.faults.crash(4, at=ms(1), restart_at=ms(6))
+    cluster.faults.crash(0, at=ms(8))
+    cluster.run(until=ms(40))
+
+    problems: List[str] = []
+    counters = cluster.faults.counters()
+    if counters["crashes"] != 2:
+        problems.append(f"expected 2 crashes, got {counters['crashes']}")
+    if counters["restarts"] != 1:
+        problems.append("restart event did not fire")
+    report = coord.reports.get(4)
+    if report is None or not report.done:
+        state = report.state if report is not None else "no report"
+        extra = report.problems if report is not None else []
+        problems.append(f"node 4 did not complete recovery "
+                        f"(state={state}, {extra})")
+    else:
+        xfer = report.transfers.get(0)
+        if xfer is None or not xfer.ok:
+            problems.append("no successful delta transfer recorded")
+        else:
+            if xfer.failovers < 1:
+                problems.append("source crash did not force a failover")
+            if len(xfer.sources_used) < 2:
+                problems.append(f"transfer used sources "
+                                f"{xfer.sources_used}, expected >=2")
+            if xfer.source == 0:
+                problems.append("transfer claims completion from the "
+                                "crashed source")
+        if report.checksum_ok.get(0) is not True:
+            problems.append(f"post-rejoin checksum validation failed "
+                            f"({report.checksum_ok.get(0)})")
+    if cluster.view.members != (1, 2, 3, 4):
+        problems.append(f"final view {cluster.view.members}, expected "
+                        f"node 0 out and node 4 readmitted")
+    sums = {nid: stores[nid].checksum() for nid in (1, 2, 3, 4)}
+    if len(set(sums.values())) != 1:
+        problems.append(f"survivor/rejoiner checksums diverge: {sums}")
+    vs = verifier.check()
+    if not vs.ok:
+        problems.extend(f"vsync {v}" for v in vs.violations[:5])
+    if len(verifier.views) < 3:
+        problems.append(f"expected >=2 view changes, saw views "
+                        f"{sorted(verifier.views)}")
+    notes = []
+    if report is not None and report.done:
+        xfer = report.transfers[0]
+        notes = [f"failovers {xfer.failovers}, sources {xfer.sources_used}, "
+                 f"cut retries {report.cut_retries}",
+                 f"fetched {report.fetched.get(0, 0)} entries over "
+                 f"{xfer.chunks} chunks after failover",
+                 f"vsync: {vs.deliveries_checked} deliveries over "
+                 f"{vs.epochs_checked} epochs"]
+    return h.result("mid-transfer-source-crash", seed, problems, notes)
+
+
 #: name -> scenario function. Ordering is the CLI's ``--all`` ordering.
 SCENARIOS: Dict[str, Callable[[int], ScenarioResult]] = {
     "partition-heal": scenario_partition_heal,
@@ -314,6 +565,8 @@ SCENARIOS: Dict[str, Callable[[int], ScenarioResult]] = {
     "sender-stall": scenario_sender_stall,
     "leader-crash": scenario_leader_crash,
     "crash-restart": scenario_crash_restart,
+    "crash-restart-rejoin": scenario_crash_restart_rejoin,
+    "mid-transfer-source-crash": scenario_mid_transfer_source_crash,
 }
 
 

@@ -1,0 +1,77 @@
+"""Crash-recovery & rejoin plane (docs/RECOVERY.md).
+
+Modules:
+
+* :mod:`repro.recovery.trim` — the ragged-edge trim formalized:
+  :class:`TrimDecision`, :class:`TrimLedger`, :func:`compute_trim`.
+* :mod:`repro.recovery.transfer` — chunked state transfer over the
+  simulated fabric with per-chunk timeout, bounded exponential backoff
+  with jitter, source failover and CRC validation.
+* :mod:`repro.recovery.coordinator` — the
+  :class:`RecoveryCoordinator` driving restart → replay → catch-up →
+  rejoin at the next epoch boundary.
+* :mod:`repro.recovery.verify` — the cross-view virtual-synchrony
+  safety verifier (atomicity, total order, gap-freedom, trim
+  conformance).
+
+Exports resolve lazily (PEP 562) so that :mod:`repro.core` modules can
+import :mod:`repro.recovery.trim` — which is dependency-free — without
+dragging the coordinator (and hence the core) back in.
+"""
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    "TrimDecision",
+    "TrimLedger",
+    "compute_trim",
+    "TransferConfig",
+    "TransferOutcome",
+    "StateTransfer",
+    "encode_entries",
+    "decode_entries",
+    "RecoveryConfig",
+    "NodeRecovery",
+    "RecoveryCoordinator",
+    "VsyncVerifier",
+    "VsyncReport",
+]
+
+_HOMES = {
+    "TrimDecision": "trim",
+    "TrimLedger": "trim",
+    "compute_trim": "trim",
+    "TransferConfig": "transfer",
+    "TransferOutcome": "transfer",
+    "StateTransfer": "transfer",
+    "encode_entries": "transfer",
+    "decode_entries": "transfer",
+    "RecoveryConfig": "coordinator",
+    "NodeRecovery": "coordinator",
+    "RecoveryCoordinator": "coordinator",
+    "VsyncVerifier": "verify",
+    "VsyncReport": "verify",
+}
+
+if TYPE_CHECKING:  # pragma: no cover - typing aid only
+    from .coordinator import NodeRecovery, RecoveryConfig, RecoveryCoordinator
+    from .transfer import (StateTransfer, TransferConfig, TransferOutcome,
+                           decode_entries, encode_entries)
+    from .trim import TrimDecision, TrimLedger, compute_trim
+    from .verify import VsyncReport, VsyncVerifier
+
+
+def __getattr__(name):
+    home = _HOMES.get(name)
+    if home is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{home}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

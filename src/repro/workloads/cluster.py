@@ -19,15 +19,17 @@ workload processes and collect the paper's metrics.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.config import SpindleConfig, TimingModel
 from ..core.group import GroupNode
 from ..core.membership import SubgroupSpec, View
 from ..core.multicast import SubgroupMulticast
+from ..core.persistence import StorageModel
 from ..metrics.registry import MetricsRegistry, registry_enabled_from_env
 from ..rdma.fabric import RdmaFabric
 from ..rdma.latency import LatencyModel
+from ..recovery.trim import TrimLedger
 from ..sim.engine import Simulator
 
 __all__ = ["Cluster"]
@@ -72,7 +74,28 @@ class Cluster:
         self._built = False
         self._membership_params: Optional[dict] = None
         self._faults = None
+        self._recovery = None
         self._fabric_collectors_registered = False
+        #: Crash-stopped nodes (they stay in ``node_ids`` — provisioned
+        #: machines — but are excluded from :meth:`live_nodes`).
+        self.dead_nodes: Set[int] = set()
+        #: (node, subgroup) -> (entries, bytes): each node's on-SSD
+        #: durable log, harvested at every epoch boundary so it survives
+        #: crashes and view changes (docs/RECOVERY.md).
+        self._durable_logs: Dict[Tuple[int, int], Tuple[list, int]] = {}
+        #: Timing model of the simulated SSDs (replay cost on restart).
+        self.storage_model = StorageModel()
+        #: Per-epoch audit log of ragged-edge trim decisions, fed by the
+        #: membership protocol and the recovery coordinator and checked
+        #: by :class:`repro.recovery.verify.VsyncVerifier`.
+        self.trim_ledger = TrimLedger()
+        #: Fired with the new :class:`View` at the end of every install
+        #: (including the initial :meth:`build`).
+        self.on_view_installed: List[Callable[[View], None]] = []
+        #: Fired with ``(old_view, old_groups)`` at the *start* of every
+        #: epoch restart, before the old groups are torn down — the last
+        #: chance to snapshot per-epoch protocol state.
+        self.on_epoch_end: List[Callable[[View, Dict[int, GroupNode]], None]] = []
 
     # ---------------------------------------------------------------- setup
 
@@ -155,8 +178,18 @@ class Cluster:
         if self.metrics.enabled:
             self._register_fabric_collectors()
         for group in self.groups.values():
+            if group.membership is not None:
+                group.membership.trim_ledger = self.trim_ledger
             group.start()
         self.view = view
+        # Seed the new epoch's persistence engines from the on-SSD logs
+        # (durable state survives the epoch restart).
+        for (node_id, sg_id), (log, log_bytes) in self._durable_logs.items():
+            group = self.groups.get(node_id)
+            if group is not None and sg_id in group.persistence:
+                group.persistence[sg_id].adopt_log(log, log_bytes)
+        for callback in list(self.on_view_installed):
+            callback(view)
 
     def _register_fabric_collectors(self) -> None:
         """Pull-mirrors of NIC/fabric state into the registry.
@@ -231,28 +264,98 @@ class Cluster:
         registration — §2.3: memory layout is fixed *per view*).
 
         Durable logs live on each node's (simulated) SSD, so they
-        survive the restart: the new epoch's persistence engines are
-        seeded from the old epoch's logs.
+        survive the restart: each old engine's log is harvested into the
+        cluster's durable store and the new epoch's engines adopt it
+        (:meth:`PersistenceEngine.adopt_log
+        <repro.core.persistence.PersistenceEngine.adopt_log>`) — crashed
+        members' logs included, so a later restart can replay them.
         """
-        old_logs = {}
-        for node_id, group in self.groups.items():
+        old_view, old_groups = self.view, self.groups
+        if old_view is not None:
+            for callback in list(self.on_epoch_end):
+                callback(old_view, old_groups)
+        for node_id, group in old_groups.items():
             for sg_id, engine in group.persistence.items():
-                old_logs[(node_id, sg_id)] = (engine.log, engine.log_bytes)
+                self._durable_logs[(node_id, sg_id)] = (
+                    list(engine.log), engine.log_bytes)
             group.teardown()
         self._install(new_view)
-        for (node_id, sg_id), (log, log_bytes) in old_logs.items():
-            group = self.groups.get(node_id)
-            if group is not None and sg_id in group.persistence:
-                engine = group.persistence[sg_id]
-                engine.log = list(log)
-                engine.log_bytes = log_bytes
 
     def fail_node(self, node_id: int) -> None:
-        """Crash-stop a node: NIC drops all its traffic, threads die."""
+        """Crash-stop a node: NIC drops all its traffic, threads die.
+        The node stays in ``node_ids`` (the machine is still racked) but
+        leaves :meth:`live_nodes` until :meth:`restart_node`."""
         self.fabric.fail_node(node_id)
+        self.dead_nodes.add(node_id)
         group = self.groups.get(node_id)
         if group is not None:
             group.kill()
+
+    def restart_node(self, node_id: int) -> None:
+        """Power a crashed node's NIC back on (crash-recovery model:
+        volatile state is gone, the durable log survives on its SSD).
+        Protocol re-admission is the recovery plane's job — see
+        :attr:`recovery` and docs/RECOVERY.md."""
+        node = self.fabric.nodes[node_id]
+        node.alive = True
+        node.egress_free_at = max(node.egress_free_at, self.sim.now)
+        self.dead_nodes.discard(node_id)
+
+    def live_nodes(self) -> List[int]:
+        """Provisioned nodes whose NIC is up (never address a corpse)."""
+        return [n for n in self.node_ids
+                if n not in self.dead_nodes and self.fabric.nodes[n].alive]
+
+    # ------------------------------------------------------- durable storage
+
+    def durable_log(self, node_id: int, subgroup_id: int) -> Tuple[list, int]:
+        """One node's on-SSD durable log for a subgroup, as
+        ``(entries, bytes)``. Reads the live engine when the node runs
+        one this epoch, else the harvested carryover store (which is
+        how a crashed node's log is replayed after restart)."""
+        group = self.groups.get(node_id)
+        if group is not None and subgroup_id in group.persistence:
+            engine = group.persistence[subgroup_id]
+            return list(engine.log), engine.log_bytes
+        entries, log_bytes = self._durable_logs.get(
+            (node_id, subgroup_id), ([], 0))
+        return list(entries), log_bytes
+
+    def adopt_durable_log(self, node_id: int, subgroup_id: int,
+                          entries, log_bytes: Optional[int] = None) -> None:
+        """Overwrite a node's stored durable log (recovery state
+        transfer: replayed prefix + fetched delta). The next view that
+        includes the node seeds its persistence engine from this."""
+        entries = [tuple(e) for e in entries]
+        if log_bytes is None:
+            log_bytes = sum(len(p) for _s, _n, p in entries if p is not None)
+        self._durable_logs[(node_id, subgroup_id)] = (entries, log_bytes)
+
+    @property
+    def recovery(self) -> "RecoveryCoordinator":
+        """The cluster's crash-recovery coordinator (created and
+        attached on first use — docs/RECOVERY.md)::
+
+            cluster.recovery.set_checksum(0, lambda n: stores[n].checksum())
+            cluster.faults.crash(3, at=ms(1), restart_at=ms(6))
+        """
+        if self._recovery is None:
+            from ..recovery.coordinator import RecoveryCoordinator
+
+            self._recovery = RecoveryCoordinator(self).attach()
+        return self._recovery
+
+    def enable_recovery(self, config=None) -> "RecoveryCoordinator":
+        """Create (or reconfigure) the recovery coordinator with an
+        explicit :class:`~repro.recovery.coordinator.RecoveryConfig`.
+        Must be called before the first :attr:`recovery` access if a
+        non-default config is wanted."""
+        if self._recovery is not None:
+            raise RuntimeError("recovery coordinator already created")
+        from ..recovery.coordinator import RecoveryCoordinator
+
+        self._recovery = RecoveryCoordinator(self, config).attach()
+        return self._recovery
 
     @property
     def faults(self) -> "FaultPlane":

@@ -1,0 +1,692 @@
+"""Tests for the crash-recovery & rejoin plane (docs/RECOVERY.md):
+
+* ragged-edge trim as an auditable artifact (compute_trim, TrimLedger);
+* the chunked state-transfer protocol (codec, per-chunk timeout +
+  exponential backoff, injected loss, source failover, CRC validation);
+* PersistenceEngine.adopt_log / drained and the Cluster durable store;
+* Cluster crash/restart bookkeeping (fail_node, restart_node,
+  live_nodes) and CrashEvent.restart_at end-to-end;
+* the RecoveryCoordinator pipeline via the chaos scenarios, and the
+  cross-view virtual-synchrony verifier.
+"""
+
+import pytest
+
+from repro.core.config import SpindleConfig
+from repro.faults import FaultSchedule
+from repro.rdma.fabric import RdmaFabric
+from repro.recovery import (
+    RecoveryConfig,
+    StateTransfer,
+    TransferConfig,
+    TrimLedger,
+    VsyncVerifier,
+    compute_trim,
+    decode_entries,
+    encode_entries,
+)
+from repro.sim.engine import Simulator
+from repro.sim.units import ms, us
+from repro.workloads import Cluster, continuous_sender
+
+
+# ==========================================================================
+# Ragged-edge trim
+# ==========================================================================
+
+
+class TestComputeTrim:
+    def _received(self, table):
+        return lambda node, sg_id: table[sg_id][node]
+
+    def test_minimum_over_survivors(self):
+        table = {0: {0: 10, 1: 7, 2: 9}}
+        d = compute_trim(prior_view_id=0, next_view_id=1, leader=0,
+                         failed=(), subgroup_members={0: [0, 1, 2]},
+                         received_of=self._received(table))
+        assert d.trims == {0: 7}
+        assert d.survivor_received == {0: {0: 10, 1: 7, 2: 9}}
+
+    def test_failed_members_excluded(self):
+        table = {0: {0: 10, 1: 2, 2: 9}}
+        d = compute_trim(prior_view_id=0, next_view_id=1, leader=0,
+                         failed=(1,), subgroup_members={0: [0, 1, 2]},
+                         received_of=self._received(table))
+        assert d.trims == {0: 9}
+        assert 1 not in d.survivor_received[0]
+        assert d.failed == (1,)
+
+    def test_per_subgroup_and_tuple_form(self):
+        table = {0: {0: 5, 1: 3}, 1: {0: 8, 1: 11}}
+        d = compute_trim(prior_view_id=2, next_view_id=3, leader=1,
+                         failed=(), subgroup_members={0: [0, 1], 1: [0, 1]},
+                         received_of=self._received(table),
+                         joined=(4,), kind="join")
+        assert d.trims == {0: 3, 1: 8}
+        assert d.trims_tuple() == ((0, 3), (1, 8))
+        assert d.kind == "join" and d.joined == (4,)
+
+    def test_subgroup_with_no_survivors_skipped(self):
+        table = {0: {0: 5}}
+        d = compute_trim(prior_view_id=0, next_view_id=1, leader=0,
+                         failed=(0,), subgroup_members={0: [0]},
+                         received_of=self._received(table))
+        assert d.trims == {}
+
+
+class TestTrimLedger:
+    def _decision(self, trims, next_view_id=1):
+        return compute_trim(
+            prior_view_id=next_view_id - 1, next_view_id=next_view_id,
+            leader=0, failed=(), subgroup_members={sg: [0] for sg in trims},
+            received_of=lambda n, sg: trims[sg])
+
+    def test_first_commit_pins_matching_proposal(self):
+        ledger = TrimLedger()
+        decision = self._decision({0: 7})
+        ledger.propose(decision)
+        ledger.commit(1, decision.trims_tuple(), committer=0)
+        assert ledger.decision_for(1) is decision
+        assert ledger.committers[1] == [0]
+        assert not ledger.conflicts
+
+    def test_identical_commits_agree(self):
+        ledger = TrimLedger()
+        decision = self._decision({0: 7})
+        ledger.propose(decision)
+        for node in (0, 1, 2):
+            ledger.commit(1, decision.trims_tuple(), committer=node)
+        assert ledger.committers[1] == [0, 1, 2]
+        assert not ledger.conflicts
+
+    def test_divergent_commit_is_a_conflict(self):
+        ledger = TrimLedger()
+        decision = self._decision({0: 7})
+        ledger.propose(decision)
+        ledger.commit(1, decision.trims_tuple(), committer=0)
+        ledger.commit(1, ((0, 9),), committer=2)
+        assert len(ledger.conflicts) == 1
+        assert "node 2" in ledger.conflicts[0]
+
+    def test_commit_without_proposal_synthesizes(self):
+        ledger = TrimLedger()
+        ledger.commit(5, ((0, 3),), committer=1)
+        pinned = ledger.decision_for(5)
+        assert pinned is not None and pinned.trims == {0: 3}
+        assert pinned.prior_view_id == 4
+
+    def test_record_join_and_decision_ending(self):
+        ledger = TrimLedger()
+        join = compute_trim(prior_view_id=1, next_view_id=2, leader=0,
+                            failed=(), subgroup_members={0: [0, 1]},
+                            received_of=lambda n, sg: 4,
+                            joined=(3,), kind="join")
+        ledger.record_join(join)
+        assert ledger.decision_for(2) is join
+        assert ledger.decision_ending(1) is join
+        assert ledger.decision_ending(0) is None
+
+
+# ==========================================================================
+# State-transfer codec
+# ==========================================================================
+
+
+class TestEntryCodec:
+    def test_round_trip(self):
+        entries = [(0, 1, b"hello"), (1, 2, b""), (2, 0, None),
+                   (3, 3, b"\x00" * 100)]
+        assert decode_entries(encode_entries(entries)) == entries
+
+    def test_empty(self):
+        assert decode_entries(encode_entries([])) == []
+
+    def test_truncated_header_raises(self):
+        blob = encode_entries([(0, 1, b"abc")])
+        with pytest.raises(ValueError):
+            decode_entries(blob[:-5])  # cuts into the payload
+
+    def test_truncated_payload_raises(self):
+        blob = encode_entries([(0, 1, b"abcdef")])
+        with pytest.raises(ValueError):
+            decode_entries(blob[: len(blob) - 2])
+
+
+# ==========================================================================
+# StateTransfer protocol
+# ==========================================================================
+
+
+def run_transfer(payloads, *, config, kill_at=None, n_sources=2,
+                 dead_sources=()):
+    """Drive one StateTransfer on a bare fabric; returns the outcome.
+
+    ``payloads`` maps source index -> bytes (or None = unusable source).
+    ``kill_at`` optionally crash-stops source 0 at that time.
+    """
+    sim = Simulator(seed=1)
+    fabric = RdmaFabric(sim)
+    sources = [fabric.add_node().node_id for _ in range(n_sources)]
+    dest = fabric.add_node().node_id
+    for idx in dead_sources:
+        fabric.fail_node(sources[idx])
+    if kill_at is not None:
+        sim.call_at(kill_at, fabric.fail_node, sources[0])
+
+    st = StateTransfer(sim, fabric, dest=dest, sources=sources,
+                       fetch_payload=lambda src: payloads.get(
+                           sources.index(src)),
+                       config=config)
+    box = {}
+
+    def proc():
+        box["out"] = yield from st.run()
+
+    sim.spawn(proc())
+    sim.run()
+    return box["out"]
+
+
+class TestStateTransfer:
+    def test_happy_path_multi_chunk(self):
+        payload = bytes(range(256)) * 10  # 2560 B -> 10 chunks of 256
+        out = run_transfer({0: payload, 1: payload},
+                           config=TransferConfig(chunk_size=256))
+        assert out.ok and out.data == payload
+        assert out.chunks == 10
+        assert out.source is not None
+        assert out.failovers == 0 and out.timeouts == 0
+        assert out.checksum_ok
+
+    def test_injected_drop_forces_timeout_and_backoff(self):
+        payload = b"x" * 1000
+        out = run_transfer(
+            {0: payload, 1: payload},
+            config=TransferConfig(chunk_size=256, chunk_timeout=us(100),
+                                  drop_chunks=frozenset({1})))
+        assert out.ok and out.data == payload
+        assert out.injected_timeouts == 1
+        assert out.timeouts >= 1
+        assert out.backoff_total > 0.0
+        assert out.attempts > out.chunks  # at least one retransmit
+
+    def test_dead_source_skipped(self):
+        payload = b"y" * 512
+        out = run_transfer({0: payload, 1: payload},
+                           config=TransferConfig(chunk_size=256),
+                           dead_sources=(0,))
+        assert out.ok
+        assert out.sources_used == [out.source]
+        assert out.failovers == 0  # never *started* on the dead one
+
+    def test_unusable_payload_advances_failover(self):
+        payload = b"z" * 512
+        out = run_transfer({0: None, 1: payload},
+                           config=TransferConfig(chunk_size=256))
+        assert out.ok and out.data == payload
+        assert len(out.sources_used) == 2
+        assert out.failovers == 1
+
+    def test_source_crash_mid_transfer_fails_over(self):
+        payload = b"q" * 4096  # 16 chunks
+        cfg = TransferConfig(chunk_size=256, chunk_timeout=us(100),
+                             inter_chunk_gap=us(50))
+        out = run_transfer({0: payload, 1: payload}, config=cfg,
+                           kill_at=us(300))
+        assert out.ok and out.data == payload
+        assert out.failovers >= 1
+        assert len(out.sources_used) >= 2
+        assert out.source != out.sources_used[0]
+
+    def test_no_live_source_fails(self):
+        out = run_transfer({0: b"a", 1: b"a"},
+                           config=TransferConfig(chunk_size=256),
+                           dead_sources=(0, 1))
+        assert not out.ok
+        assert out.error is not None
+
+    def test_empty_payload_is_one_chunk(self):
+        out = run_transfer({0: b"", 1: b""},
+                           config=TransferConfig(chunk_size=256))
+        assert out.ok and out.data == b""
+        assert out.chunks == 1
+
+
+# ==========================================================================
+# Persistence: adopt_log / drained + cluster durable store
+# ==========================================================================
+
+
+def persistent_cluster(n=3, count=20, size=512, seed=0, membership=None):
+    cluster = Cluster(n, config=SpindleConfig.optimized(), seed=seed)
+    cluster.add_subgroup(message_size=size, window=8, persistent=True)
+    if membership:
+        cluster.enable_membership(**membership)
+    cluster.build()
+    for nid in cluster.node_ids:
+        cluster.spawn_sender(continuous_sender(
+            cluster.mc(nid, 0), count=count, size=size,
+            payload_fn=lambda k, nid=nid: b"%d:%d" % (nid, k)))
+    return cluster
+
+
+class TestAdoptLog:
+    def test_adopt_seeds_pristine_engine(self):
+        cluster = persistent_cluster(n=2, count=0)
+        engine = cluster.group(0).persistence[0]
+        entries = [(0, 0, b"aa"), (1, 1, b"bbb"), (2, 0, None)]
+        # A freshly built engine has nothing queued or logged yet only
+        # if no traffic ran; use a second, unstarted cluster instead.
+        fresh = Cluster(2, config=SpindleConfig.optimized())
+        fresh.add_subgroup(message_size=64, window=4, persistent=True)
+        fresh.build()
+        engine = fresh.group(0).persistence[0]
+        engine.adopt_log(entries)
+        assert engine.log == [(0, 0, b"aa"), (1, 1, b"bbb"), (2, 0, None)]
+        assert engine.log_bytes == 5
+        assert engine.adopted_entries == 3
+        assert engine.drained
+
+    def test_adopt_on_nonpristine_engine_raises(self):
+        cluster = persistent_cluster(n=2, count=10)
+        cluster.run_to_quiescence(max_time=10.0)
+        engine = cluster.group(0).persistence[0]
+        assert engine.log  # traffic was persisted
+        with pytest.raises(RuntimeError):
+            engine.adopt_log([(0, 0, b"x")])
+
+    def test_durable_log_survives_view_change(self):
+        cluster = persistent_cluster(
+            n=3, count=25, membership=dict(heartbeat_period=us(100),
+                                           suspicion_timeout=us(500)))
+        cluster.run(until=ms(20))  # heartbeats never quiesce
+        before, before_bytes = cluster.durable_log(0, 0)
+        assert before and before_bytes > 0
+        # Epoch restart: the new engines must adopt the harvested logs.
+        new_view = cluster.view.without([2])
+        cluster.install_view(new_view)
+        engine = cluster.group(0).persistence[0]
+        assert engine.adopted_entries == len(before)
+        assert engine.log[: len(before)] == before
+        # The store also answers for the departed member.
+        departed, _ = cluster.durable_log(2, 0)
+        assert departed
+
+    def test_adopt_durable_log_roundtrip(self):
+        cluster = persistent_cluster(n=2, count=0)
+        entries = [(0, 1, b"zz"), (1, 0, None)]
+        cluster.adopt_durable_log(7, 0, entries)
+        got, nbytes = cluster.durable_log(7, 0)
+        assert got == entries and nbytes == 2
+
+
+# ==========================================================================
+# Crash / restart bookkeeping
+# ==========================================================================
+
+
+class TestCrashRestartBookkeeping:
+    def test_fail_node_updates_live_nodes(self):
+        cluster = persistent_cluster(n=3, count=0)
+        assert cluster.live_nodes() == [0, 1, 2]
+        cluster.fail_node(1)
+        assert cluster.live_nodes() == [0, 2]
+        assert 1 in cluster.dead_nodes
+        assert not cluster.fabric.nodes[1].alive
+
+    def test_restart_node_revives(self):
+        cluster = persistent_cluster(n=3, count=0)
+        cluster.fail_node(1)
+        cluster.restart_node(1)
+        assert cluster.live_nodes() == [0, 1, 2]
+        assert cluster.fabric.nodes[1].alive
+        assert 1 not in cluster.dead_nodes
+
+    def test_restart_at_fires_callbacks_and_counters(self):
+        cluster = persistent_cluster(
+            n=3, count=30, membership=dict(heartbeat_period=us(100),
+                                           suspicion_timeout=us(500)))
+        restarted = []
+        cluster.faults.on_restart.append(restarted.append)
+        cluster.faults.crash(2, at=ms(1), restart_at=ms(15))
+        cluster.run(until=ms(25))
+        assert cluster.faults.crashes == 1
+        assert cluster.faults.restarts == 1
+        assert restarted == [2]
+        assert cluster.fabric.nodes[2].alive
+        assert cluster.live_nodes() == [0, 1, 2]
+
+    def test_restart_replay_matches_imperative_run(self):
+        def run(schedule_json=None):
+            cluster = persistent_cluster(
+                n=3, count=30, seed=4,
+                membership=dict(heartbeat_period=us(100),
+                                suspicion_timeout=us(500)))
+            seen = []
+            cluster.faults.on_restart.append(seen.append)
+            if schedule_json is None:
+                cluster.faults.crash(2, at=ms(1), restart_at=ms(10))
+            else:
+                cluster.faults.apply(FaultSchedule.from_json(schedule_json))
+            cluster.run(until=ms(20))
+            log = cluster.group(0).persistence[0].log
+            return cluster, seen, list(log)
+
+        cluster, seen, log = run()
+        schedule_json = cluster.faults.schedule.to_json()
+        replay, seen2, log2 = run(schedule_json)
+        assert seen2 == seen == [2]
+        assert log2 == log
+        assert replay.faults.counters() == cluster.faults.counters()
+
+
+# ==========================================================================
+# End-to-end: scenarios + coordinator + verifier
+# ==========================================================================
+
+
+class TestRecoveryScenarios:
+    def test_crash_restart_rejoin_scenario(self):
+        from repro.faults.scenarios import run_scenario
+
+        result = run_scenario("crash-restart-rejoin", seed=0)
+        assert result.ok, result.problems
+
+    def test_mid_transfer_source_crash_scenario(self):
+        from repro.faults.scenarios import run_scenario
+
+        result = run_scenario("mid-transfer-source-crash", seed=0)
+        assert result.ok, result.problems
+
+    def test_coordinator_report_contents(self):
+        """The full pipeline (wait-view → replay → transfer → rejoin)
+        run directly against a cluster, asserting each audit field."""
+        from repro.apps.kvstore import attach_store
+
+        cluster = Cluster(4, config=SpindleConfig.optimized(), seed=0)
+        cluster.add_subgroup(message_size=256, window=8, persistent=True)
+        cluster.enable_membership(heartbeat_period=us(100),
+                                  suspicion_timeout=us(500))
+        cluster.build()
+        stores = {nid: attach_store(cluster.group(nid), 0)
+                  for nid in cluster.node_ids}
+
+        def rewire(view):
+            for nid, group in cluster.groups.items():
+                store = stores.get(nid)
+                if store is None:
+                    stores[nid] = store = attach_store(group, 0)
+                else:
+                    store.rebind(group.subgroup(0))
+                    group.on_delivery(0, store.apply)
+
+        cluster.on_view_installed.append(rewire)
+
+        def writers(view):
+            for nid in cluster.groups:
+                def writer(store=stores[nid], vid=view.view_id, nid=nid):
+                    try:
+                        for i in range(10):
+                            yield from store.put(
+                                b"k%d.%d.%d" % (vid, nid, i), b"v" * 16)
+                            yield us(40)
+                    except RuntimeError:
+                        return
+                cluster.spawn_sender(writer())
+
+        cluster.on_view_installed.append(writers)
+        writers(cluster.view)
+
+        coord = cluster.enable_recovery(RecoveryConfig(
+            transfer=TransferConfig(chunk_size=256, chunk_timeout=us(300),
+                                    drop_chunks=frozenset({0}))))
+
+        def rebuild(node, entries):
+            stores[node].data.clear()
+            for _seq, _sender, payload in entries:
+                stores[node].apply_command(payload)
+
+        coord.set_applier(0, rebuild)
+        coord.set_checksum(0, lambda nid: stores[nid].checksum())
+        verifier = VsyncVerifier(cluster)
+
+        rejoined = []
+        coord.on_rejoined.append(lambda n, v: rejoined.append((n, v.view_id)))
+        cluster.faults.crash(3, at=ms(1), restart_at=ms(8))
+        cluster.run(until=ms(30))
+
+        report = coord.reports[3]
+        assert report.done, report.problems
+        assert report.rejoin_view_id >= 2
+        assert set(report.stage_seconds) == {
+            "wait-view", "replay", "transfer", "rejoin"}
+        assert report.replayed[0] > 0
+        assert report.fetched[0] > 0
+        xfer = report.transfers[0]
+        assert xfer.ok and xfer.injected_timeouts >= 1
+        assert xfer.backoff_total > 0.0
+        assert report.checksum_ok[0] is True
+        assert rejoined == [(3, report.rejoin_view_id)]
+        assert cluster.view.members == (0, 1, 2, 3)
+        # Rejoiner's state machine replayed the durable log.
+        assert stores[3].recovered > 0
+        # Everyone converged.
+        sums = {stores[n].checksum() for n in cluster.node_ids}
+        assert len(sums) == 1
+        # The ledger holds both the failure trim and the join trim.
+        kinds = [d.kind for d in cluster.trim_ledger.committed.values()]
+        assert "failure" in kinds and "join" in kinds
+        # And the verifier signs off across all epochs.
+        vs = verifier.check()
+        assert vs.ok, vs.violations
+        assert vs.epochs_checked >= 3
+
+    def test_recovery_metrics_counters(self):
+        from repro.faults.scenarios import SCENARIOS  # noqa: F401 (import check)
+
+        cluster = Cluster(3, config=SpindleConfig.optimized(), seed=1)
+        cluster.add_subgroup(message_size=256, window=8, persistent=True)
+        cluster.enable_membership(heartbeat_period=us(100),
+                                  suspicion_timeout=us(500))
+        cluster.build()
+        for nid in cluster.node_ids:
+            cluster.spawn_sender(continuous_sender(
+                cluster.mc(nid, 0), count=15, size=256))
+
+        # Fresh senders per installed view, so the crashed node misses
+        # traffic and the transfer has a real delta to move.
+        def more(_view):
+            for nid in cluster.groups:
+                cluster.spawn_sender(continuous_sender(
+                    cluster.mc(nid, 0), count=10, size=256))
+
+        cluster.on_view_installed.append(more)
+        cluster.enable_recovery()
+        cluster.faults.crash(2, at=ms(1), restart_at=ms(8))
+        cluster.run(until=ms(30))
+        snap = cluster.metrics_snapshot()["metrics"]
+
+        def value(name):
+            return sum(s["value"] for k, s in snap.items()
+                       if k.startswith(name))
+
+        assert value("spindle_recovery_started_total") == 1
+        assert value("spindle_recovery_completed_total") == 1
+        assert value("spindle_recovery_failed_total") == 0
+        assert value("spindle_recovery_transfer_bytes_total") > 0
+
+    def test_recovery_without_membership_fails_cleanly(self):
+        """No failure detector -> the old view never excises the node;
+        the pipeline must give up with a wait-view diagnosis instead of
+        hanging."""
+        cluster = Cluster(3, config=SpindleConfig.optimized(), seed=0)
+        cluster.add_subgroup(message_size=256, window=8, persistent=True)
+        cluster.build()
+        coord = cluster.enable_recovery(RecoveryConfig(
+            view_wait_timeout=ms(5)))
+        cluster.faults.crash(2, at=ms(1), restart_at=ms(2))
+        cluster.run(until=ms(20))
+        report = coord.reports[2]
+        assert report.state == "failed"
+        assert any("view still contains" in p for p in report.problems)
+
+
+class TestAppRecoveryHooks:
+    """The per-app recovery surface: deterministic snapshot/restore and
+    checksum hooks used by the coordinator's state validation."""
+
+    def _queue_pair(self):
+        from repro.apps.mqueue import attach_queue
+
+        cluster = Cluster(2, config=SpindleConfig.optimized(), seed=0)
+        cluster.add_subgroup(message_size=128, window=8)
+        cluster.build()
+        queues = {nid: attach_queue(cluster.group(nid), 0, num_workers=2)
+                  for nid in cluster.node_ids}
+
+        def producer(q):
+            for i in range(6):
+                yield from q.enqueue(b"job-%d" % i)
+
+        for nid in cluster.node_ids:
+            cluster.spawn_sender(producer(queues[nid]))
+        cluster.run_to_quiescence(max_time=10.0)
+        return cluster, queues
+
+    def test_mqueue_checksum_matches_across_replicas(self):
+        _cluster, queues = self._queue_pair()
+        sums = {q.checksum() for q in queues.values()}
+        assert len(sums) == 1
+        assert queues[0].backlog() == 12
+
+    def test_mqueue_checksum_tracks_takes(self):
+        _cluster, queues = self._queue_pair()
+        before = queues[0].checksum()
+        queues[0].take(0, limit=3)
+        assert queues[0].checksum() != before
+        queues[1].take(0, limit=3)
+        assert queues[0].checksum() == queues[1].checksum()
+
+    def test_mqueue_snapshot_restore_roundtrip(self):
+        from repro.apps.mqueue import ReplicatedQueue
+
+        _cluster, queues = self._queue_pair()
+        queues[0].take(1, limit=2)
+        blob = queues[0].snapshot()
+        clone = ReplicatedQueue.__new__(ReplicatedQueue)
+        clone.num_workers = 2
+        clone.restore(blob)
+        assert clone.enqueued_total == queues[0].enqueued_total
+        assert clone.taken_total == queues[0].taken_total
+        # restore() fills _pending; checksum over the restored state
+        # matches the original byte-for-byte.
+        clone.checksum = queues[0].__class__.checksum.__get__(clone)
+        assert clone.checksum() == queues[0].checksum()
+
+    def test_mqueue_snapshot_worker_count_guard(self):
+        _cluster, queues = self._queue_pair()
+        blob = queues[0].snapshot()
+        from repro.apps.mqueue import ReplicatedQueue
+        other = ReplicatedQueue.__new__(ReplicatedQueue)
+        other.num_workers = 3
+        with pytest.raises(ValueError):
+            other.restore(blob)
+
+    def test_mqueue_apply_entry_matches_delivery_path(self):
+        _cluster, queues = self._queue_pair()
+        from repro.apps.mqueue import ReplicatedQueue
+        replayed = ReplicatedQueue.__new__(ReplicatedQueue)
+        replayed.num_workers = 2
+        replayed.enqueued_total = 0
+        replayed.taken_total = 0
+        from collections import deque
+        replayed._pending = [deque(), deque()]
+        for worker_q in queues[0]._pending:
+            pass  # original kept intact
+        # Rebuild from the equivalent durable entries.
+        entries = sorted(
+            (idx, producer, payload)
+            for worker_q in queues[0]._pending
+            for idx, producer, payload in worker_q)
+        for _idx, producer, payload in entries:
+            ReplicatedQueue.apply_entry(replayed, producer, payload)
+        checksum = ReplicatedQueue.checksum.__get__(replayed)
+        assert checksum() == queues[0].checksum()
+
+    def test_kv_snapshot_restore_roundtrip(self):
+        from repro.apps.kvstore import KvNode
+
+        cluster = Cluster(2, config=SpindleConfig.optimized(), seed=0)
+        cluster.add_subgroup(message_size=128, window=8)
+        cluster.build()
+        from repro.apps.kvstore import attach_store
+        stores = {nid: attach_store(cluster.group(nid), 0)
+                  for nid in cluster.node_ids}
+
+        def writer(store, nid):
+            for i in range(5):
+                yield from store.put(b"k%d.%d" % (nid, i), b"v%d" % i)
+
+        for nid in cluster.node_ids:
+            cluster.spawn_sender(writer(stores[nid], nid))
+        cluster.run_to_quiescence(max_time=10.0)
+        blob = stores[0].snapshot()
+        clone = KvNode.__new__(KvNode)
+        clone.data = {}
+        clone.restore(blob)
+        assert clone.data == stores[0].data
+        assert stores[0].snapshot() == stores[1].snapshot()
+
+
+class TestVsyncVerifier:
+    def _quiet_cluster(self):
+        cluster = Cluster(3, config=SpindleConfig.optimized(), seed=0)
+        cluster.add_subgroup(message_size=256, window=8)
+        cluster.build()
+        verifier = VsyncVerifier(cluster)
+        for nid in cluster.node_ids:
+            cluster.spawn_sender(continuous_sender(
+                cluster.mc(nid, 0), count=10, size=256))
+        cluster.run_to_quiescence(max_time=10.0)
+        return cluster, verifier
+
+    def test_clean_run_passes(self):
+        _cluster, verifier = self._quiet_cluster()
+        report = verifier.check()
+        assert report.ok
+        assert report.epochs_checked == 1
+        assert report.deliveries_checked == 3 * 3 * 10
+
+    def test_detects_tampered_divergence(self):
+        _cluster, verifier = self._quiet_cluster()
+        key = (0, 0, 1)  # view 0, sg 0, node 1
+        seq, sender, digest = verifier.logs[key][-1]
+        verifier.logs[key][-1] = (seq, sender,
+                                  None if digest else 0)  # corrupt one
+        report = verifier.check()
+        assert not report.ok
+        assert report.by_category().get("atomicity", 0) >= 1
+
+    def test_detects_gap_in_application_seqs(self):
+        _cluster, verifier = self._quiet_cluster()
+        key = (0, 0, 2)
+        del verifier.logs[key][5]  # node 2 "skipped" a real message
+        report = verifier.check()
+        assert not report.ok
+        assert report.by_category().get("gap", 0) >= 1
+
+    def test_detects_out_of_order_delivery(self):
+        _cluster, verifier = self._quiet_cluster()
+        key = (0, 0, 0)
+        log = verifier.logs[key]
+        log[0], log[1] = log[1], log[0]
+        report = verifier.check()
+        assert not report.ok
+        assert report.by_category().get("order", 0) >= 1
+
+    def test_ledger_conflicts_surface(self):
+        cluster, verifier = self._quiet_cluster()
+        cluster.trim_ledger.conflicts.append("synthetic divergence")
+        report = verifier.check()
+        assert not report.ok
+        assert any(v.startswith("ledger:") for v in report.violations)
