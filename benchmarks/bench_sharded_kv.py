@@ -1,0 +1,121 @@
+"""Sharded service plane scaling: aggregate throughput vs shard count.
+
+The sharding argument (docs/SHARDING.md): one Spindle subgroup is one
+total order, so its delivery rate bounds a single-shard service no
+matter how many clients arrive. Partitioning the keyspace over
+independent subgroups (the multi-active-subgroup layout of Fig. 13)
+multiplies the aggregate budget — the datacenter-partitioning claim of
+Gleam / *Scaling atomic ordering in shared memory* (PAPERS.md).
+
+We drive the router with **open-loop Poisson clients** (arrivals never
+wait for completions — the only workload shape that exposes the real
+service capacity instead of the clients' round-trip time) at a rate
+well past one subgroup's capacity, and sweep 1 -> 2 -> 4 shards over
+1 -> 2 -> 4 subgroups on a fixed 8-node cluster. Gated claims:
+
+* aggregate completed-request throughput scales **>= 2x** from one
+  shard to four;
+* the cross-shard checksum verifier finds **zero violations** at
+  quiescence in every configuration.
+"""
+
+from random import Random
+
+from _common import emit, emit_bench_json, pick, run_once
+
+from repro.analysis import figure_banner, format_table, usec
+from repro.core.config import SpindleConfig
+from repro.shard import RouterConfig
+from repro.workloads import Cluster, SloStats, open_loop_client
+
+NODES = 8
+REPLICATION = 2
+SHARD_COUNTS = (1, 2, 4)
+
+
+def run_config(num_shards, *, clients, ops_per_client, rate, seed=3):
+    """One configuration: returns the metrics dict for the table."""
+    cluster = Cluster(NODES, config=SpindleConfig.optimized(), seed=seed)
+    cluster.add_shards(num_shards=num_shards, replication=REPLICATION,
+                       num_subgroups=num_shards, window=16,
+                       message_size=512)
+    cluster.build()
+    router = cluster.router(RouterConfig(queue_depth=128,
+                                         workers_per_shard=2))
+
+    stats = SloStats()
+    for c in range(clients):
+        rng = Random(seed * 7919 + c)
+        cluster.spawn_sender(
+            open_loop_client(
+                cluster.sim,
+                lambda k, c=c: router.request(
+                    "put", b"c%d.k%d" % (c, k), b"v" * 64),
+                rate=rate, count=ops_per_client, rng=rng, stats=stats,
+                name=f"client{c}"),
+            name=f"client{c}")
+
+    cluster.run_to_quiescence(max_time=30.0)
+    # The clock coasts to the quiescence deadline once the queue
+    # drains; the service window ends at the last delivery.
+    plan_sgs = cluster._shard_plan["subgroup_ids"]
+    duration = max(cluster.group(nid).stats(sg).last_delivery_time
+                   for sg in plan_sgs for nid in cluster.members_of(sg))
+    delivered = sum(cluster.total_delivered(sg) for sg in plan_sgs)
+    audit = router.verifier.check()
+    return {
+        "shards": num_shards,
+        "ok": stats.ok,
+        "submitted": stats.submitted,
+        "rejected": stats.rejected,
+        "throughput": stats.ok / duration,
+        "delivered_rate": delivered / duration,
+        "p50": stats.p50(),
+        "p99": stats.p99(),
+        "violations": len(audit.violations),
+        "duration": duration,
+    }
+
+
+def bench_sharded_kv(benchmark):
+    clients = pick(8, 4)
+    ops = pick(300, 80)
+    rate = pick(400_000.0, 200_000.0)  # per client: far past one order
+
+    def experiment():
+        return [run_config(n, clients=clients, ops_per_client=ops,
+                           rate=rate) for n in SHARD_COUNTS]
+
+    results = run_once(benchmark, experiment)
+    rows = [[r["shards"], f'{r["ok"]}/{r["submitted"]}', r["rejected"],
+             f'{r["throughput"]:,.0f}', f'{r["delivered_rate"]:,.0f}',
+             usec(r["p50"]), usec(r["p99"]), r["violations"]]
+            for r in results]
+    text = figure_banner(
+        "sharding", f"Sharded KV service, {NODES} nodes, "
+        f"{clients} open-loop Poisson clients @ {rate:,.0f}/s each",
+        "aggregate throughput scales with independent shard total orders",
+    ) + "\n" + format_table(
+        ["shards", "ok/submitted", "rejected", "req/s", "delivered/s",
+         "p50 (us)", "p99 (us)", "audit violations"], rows)
+    emit("sharded_kv", text)
+
+    by_shards = {r["shards"]: r for r in results}
+    scale = by_shards[4]["throughput"] / by_shards[1]["throughput"]
+    benchmark.extra_info["scale_1_to_4"] = scale
+    # The gated claims: >= 2x aggregate scaling, zero audit violations.
+    assert scale >= 2.0, f"1->4 shard scaling {scale:.2f}x < 2x"
+    assert all(r["violations"] == 0 for r in results)
+    # Every accepted request completed: the plane loses nothing.
+    assert all(r["ok"] + r["rejected"] == r["submitted"] for r in results)
+
+    emit_bench_json("sharded_kv", {
+        "scale_1_to_4": scale,
+        "throughput_4shards_req_s": by_shards[4]["throughput"],
+        "verifier_ok": 1.0,
+    }, extra={
+        "clients": clients,
+        "ops_per_client": ops,
+        "rate_per_client": rate,
+        "per_config": [{k: v for k, v in r.items()} for r in results],
+    })

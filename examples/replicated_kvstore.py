@@ -7,6 +7,11 @@ as part of the class of systems Spindle targets. This example runs a
 compare-and-swap elects exactly one lock owner, and a fenced read is
 linearizable even from a replica that did not perform the write.
 
+For the horizontally scaled version of this store — the keyspace
+consistent-hash-partitioned over several independent subgroup total
+orders, with a request router and live failover — see
+examples/sharded_kvstore.py and docs/SHARDING.md.
+
 Run:  python examples/replicated_kvstore.py
 """
 

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""A sharded KV service over multiple Spindle total orders.
+
+One subgroup is one total order — its delivery rate bounds a single
+service no matter how many clients arrive. The sharded service plane
+(docs/SHARDING.md) partitions the keyspace over four shards hosted on
+two independent subgroups: a consistent-hash shard map routes every
+key, a request router applies admission control and replays requests
+idempotently across view changes, and a gateway crash mid-run is
+absorbed without a single lost or duplicated write.
+
+Compare examples/replicated_kvstore.py for the single-subgroup store
+this generalizes.
+
+Run:  python examples/sharded_kvstore.py
+"""
+
+from repro import Cluster, SpindleConfig
+from repro.sim.units import ms, us
+
+NODES = 6
+SHARDS = 4
+CLIENTS = 3
+PUTS = 15
+
+
+def main():
+    cluster = Cluster(num_nodes=NODES, config=SpindleConfig.optimized(),
+                      seed=1)
+    # 4 shards over 2 subgroups of 3 replicas each: sg0={0,1,2},
+    # sg1={3,4,5}.
+    cluster.add_shards(num_shards=SHARDS, replication=3, num_subgroups=2,
+                       window=8, message_size=512)
+    cluster.enable_membership(heartbeat_period=us(100),
+                              suspicion_timeout=us(500))
+    cluster.build()
+    cluster.enable_recovery()  # auto-install committed failure views
+    router = cluster.router()
+
+    print(f"{SHARDS} shards on subgroups "
+          f"{sorted(set(router.map.placement().values()))} "
+          f"(placement {router.map.placement()})")
+
+    outcomes = []
+    expected = {}
+
+    def client(c):
+        for i in range(PUTS):
+            key = b"user/%d/%d" % (c, i)
+            value = b"profile-%d-%d" % (c, i)
+            outcome = yield from router.request("put", key, value)
+            outcomes.append(outcome)
+            if outcome.status == "ok":
+                expected[key] = value
+            yield us(60)
+
+    for c in range(CLIENTS):
+        cluster.spawn_sender(client(c), name=f"client-{c}")
+
+    # Crash the gateway of subgroup 0 while clients are mid-stream: the
+    # membership plane confirms the failure, the recovery plane installs
+    # the successor view, and the router replays in-flight requests
+    # idempotently on the promoted gateway.
+    cluster.faults.crash(0, at=us(400))
+    cluster.run(until=ms(40))
+
+    ok = sum(1 for o in outcomes if o.status == "ok")
+    print(f"{len(outcomes)} requests routed, {ok} completed ok across "
+          f"the gateway crash (gateway changes: "
+          f"{router.counters.gateway_changes}, epoch retries: "
+          f"{router.counters.epoch_retries})")
+    print(f"final view {cluster.view.members} excludes the crashed "
+          f"gateway: {0 not in cluster.view.members}")
+
+    # Every key readable through the router's stale fast path, and the
+    # cross-shard verifier agrees replica state is consistent.
+    intact = all(router.stale_read(k) == v for k, v in expected.items())
+    audit = router.verifier.check()
+    print(f"all {len(expected)} keys intact after failover: {intact}")
+    print(f"cross-shard audit: {audit.shards_checked} shards, "
+          f"{audit.keys_checked} keys, violations: "
+          f"{len(audit.violations)} (clean: {audit.ok})")
+
+
+if __name__ == "__main__":
+    main()

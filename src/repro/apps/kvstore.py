@@ -30,12 +30,21 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 from ..core.multicast import Delivery, SubgroupMulticast
 from ..sim.sync import Event
 
-__all__ = ["KvCommand", "KvNode", "attach_store"]
+__all__ = ["KvCommand", "KvNode", "attach_store",
+           "OP_PUT", "OP_DELETE", "OP_CAS", "OP_FENCE"]
 
-_OP_PUT = 1
-_OP_DELETE = 2
-_OP_CAS = 3
-_OP_FENCE = 4
+#: Public command opcodes (the sharded service plane frames these
+#: inside request-id envelopes — repro.shard.service).
+OP_PUT = 1
+OP_DELETE = 2
+OP_CAS = 3
+OP_FENCE = 4
+
+# Historical private aliases (internal call sites predate the export).
+_OP_PUT = OP_PUT
+_OP_DELETE = OP_DELETE
+_OP_CAS = OP_CAS
+_OP_FENCE = OP_FENCE
 
 _HEADER = struct.Struct("<BHHI")  # op, key_len, expected_len, value_len
 

@@ -400,6 +400,97 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_shard(args) -> int:
+    """Drive the sharded service plane (docs/SHARDING.md): N shards
+    over subgroups of ``--replication`` members, M open-loop Poisson
+    clients pushing rid-framed PUTs through the request router, then
+    report router/admission counters, per-shard placement, SLO
+    percentiles, and the cross-shard checksum audit."""
+    import json as _json
+    from random import Random
+
+    from .workloads.cluster import Cluster
+    from .workloads.generators import SloStats, open_loop_client
+
+    cluster = Cluster(args.nodes, config=CONFIGS[args.config](),
+                      seed=args.seed)
+    cluster.add_shards(num_shards=args.shards, replication=args.replication,
+                       window=args.window, message_size=args.size)
+    cluster.build()
+    router = cluster.router()
+
+    stats = SloStats()
+    value = b"v" * max(1, args.size // 4)
+    deadline = args.slo_ms * 1e-3
+
+    def factory(client: int):
+        def make(k: int):
+            key = b"c%d.k%d" % (client, k)
+            return router.request("put", key, value,
+                                  deadline=cluster.sim.now + deadline)
+        return make
+
+    for c in range(args.clients):
+        cluster.spawn_sender(
+            open_loop_client(cluster.sim, factory(c), rate=args.rate,
+                             count=args.ops, rng=Random(args.seed * 7919 + c),
+                             stats=stats, deadline=deadline,
+                             name=f"client{c}"),
+            name=f"client{c}")
+    cluster.run_to_quiescence(max_time=args.max_time)
+
+    audit = router.verifier.check()
+    placement = router.map.placement()
+    per_sg = {sg: cluster.total_delivered(sg)
+              for sg in router.map.subgroup_ids}
+    if args.json:
+        print(_json.dumps({
+            "shards": args.shards,
+            "clients": args.clients,
+            "placement": {str(k): v for k, v in placement.items()},
+            "counters": router.counters.to_dict(),
+            "slo": stats.to_dict(),
+            "delivered_per_subgroup": {str(k): v for k, v in per_sg.items()},
+            "audit": audit.to_dict(),
+            "map_digest": router.map.digest(),
+        }, indent=2, sort_keys=True))
+        return 0 if audit.ok else 1
+
+    rows = [[f"shard {s}", f"subgroup {sg}",
+             f"queue={router.queue_depth(s)}"]
+            for s, sg in sorted(placement.items())]
+    print(format_table(["shard", "placement", "state"], rows))
+    c = router.counters
+    print(format_table(["router metric", "value"], [
+        ["accepted", str(c.accepted)],
+        ["completed", str(c.completed)],
+        ["rejected (queue_full)", str(c.rejected.get("queue_full", 0))],
+        ["rejected (window_saturated)",
+         str(c.rejected.get("window_saturated", 0))],
+        ["client gave up", str(c.client_gaveup)],
+        ["queue timeouts", str(c.timeouts)],
+        ["reroutes", str(c.reroutes)],
+        ["epoch retries", str(c.epoch_retries)],
+    ]))
+    print(format_table(["SLO metric", "value"], [
+        ["submitted", str(stats.submitted)],
+        ["ok", str(stats.ok)],
+        ["rejected", str(stats.rejected)],
+        ["timeouts", str(stats.timeouts)],
+        ["SLO misses", str(stats.slo_misses)],
+        ["p50 latency (us)", f"{stats.p50() * 1e6:.1f}"],
+        ["p99 latency (us)", f"{stats.p99() * 1e6:.1f}"],
+    ]))
+    print(f"delivered per subgroup: "
+          + ", ".join(f"sg{sg}={n}" for sg, n in sorted(per_sg.items())))
+    print(f"cross-shard audit: "
+          f"{'ok' if audit.ok else 'FAIL'} "
+          f"({audit.shards_checked} shards, {audit.keys_checked} keys"
+          + (f", violations: {audit.violations[:3]}" if audit.violations
+             else "") + ")")
+    return 0 if audit.ok else 1
+
+
 def cmd_lint(args) -> int:
     from .analysis.lint import format_report, lint_paths
     from .analysis.lint.findings import format_baseline
@@ -555,6 +646,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--watch", type=float, default=None, metavar="MS",
                    help="print a progress line every MS of simulated time")
     p.set_defaults(fn=cmd_metrics)
+
+    p = sub.add_parser(
+        "shard",
+        help="sharded service plane: open-loop clients through the "
+             "request router (docs/SHARDING.md)")
+    p.add_argument("--shards", type=int, default=4,
+                   help="number of consistent-hash shards")
+    p.add_argument("--clients", type=int, default=4,
+                   help="open-loop Poisson client processes")
+    p.add_argument("--nodes", type=int, default=8,
+                   help="cluster size (default: 2 nodes per shard pair)")
+    p.add_argument("--replication", type=int, default=2,
+                   help="members per shard subgroup")
+    p.add_argument("--rate", type=float, default=20000.0,
+                   help="per-client arrival rate (requests/s, simulated)")
+    p.add_argument("--ops", type=int, default=50,
+                   help="requests per client")
+    p.add_argument("--size", type=int, default=512,
+                   help="multicast message size in bytes")
+    p.add_argument("--window", type=int, default=16,
+                   help="per-subgroup send window")
+    p.add_argument("--slo-ms", type=float, default=5.0,
+                   help="per-request deadline/SLO in milliseconds")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--config", choices=sorted(CONFIGS), default="optimized")
+    p.add_argument("--max-time", type=float, default=5.0,
+                   help="quiescence guard (simulated seconds)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    p.set_defaults(fn=cmd_shard)
 
     p = sub.add_parser(
         "lint",

@@ -393,6 +393,21 @@ class SubgroupMulticast:
         received_num column — the delivery predicate's test, §2.4)."""
         return min(self.sst.read(m, self.cols.received) for m in self.members)
 
+    def window_in_use(self) -> int:
+        """Own ring slots currently occupied by not-yet-stable messages.
+
+        Derived from the SST stability counters (``_reap_acked`` pops
+        every message the minimum delivered/received column has passed),
+        so ``window_in_use() / window`` is an honest congestion signal:
+        1.0 means the next :meth:`claim_slot` would block on the
+        slowest member's delivery progress. The request router's
+        admission control (repro.shard.router, docs/SHARDING.md) uses
+        exactly this ratio to reject-with-retry-after instead of
+        letting closed-loop backpressure collapse the client queue.
+        """
+        self._reap_acked()
+        return len(self.own_inflight)
+
 
 # ==========================================================================
 # Predicates

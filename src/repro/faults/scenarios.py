@@ -557,6 +557,291 @@ def scenario_mid_transfer_source_crash(seed: int) -> ScenarioResult:
     return h.result("mid-transfer-source-crash", seed, problems, notes)
 
 
+# ===========================================================================
+# Sharded service plane scenarios (docs/SHARDING.md)
+# ===========================================================================
+
+
+class _ShardHarness(_Harness):
+    """Scenario scaffolding for the sharded service plane: builds the
+    cluster through :meth:`Cluster.add_shards` (multiple disjoint
+    subgroups) instead of one global subgroup, and records delivery
+    logs on *every* plan subgroup as ``(sg, seq, sender, size)``."""
+
+    def __init__(self, num_nodes: int, seed: int, *, num_shards: int,
+                 replication: int, num_subgroups: Optional[int] = None,
+                 membership: Optional[dict] = None, window: int = 16,
+                 size: int = 256, persistent: bool = False):
+        from ..analysis.trace import Tracer
+        from ..core.config import SpindleConfig
+        from ..workloads import Cluster
+
+        self.cluster = Cluster(num_nodes=num_nodes,
+                               config=SpindleConfig.optimized(), seed=seed)
+        self.cluster.add_shards(num_shards=num_shards,
+                                replication=replication,
+                                num_subgroups=num_subgroups,
+                                window=window, message_size=size)
+        if membership is not None:
+            self.cluster.enable_membership(**membership)
+        self.cluster.build()
+        self.subgroup_ids = list(self.cluster._shard_plan["subgroup_ids"])
+        self.logs: Dict[int, List[tuple]] = {
+            nid: [] for nid in self.cluster.node_ids}
+        self.views: Dict[int, List[Tuple[int, ...]]] = {
+            nid: [] for nid in self.cluster.node_ids}
+        self._hook_epoch()
+        self.tracer = Tracer(self.cluster)
+        self.tracer.attach()
+        self.count = 0
+        self.size = size
+
+    def _hook_epoch(self) -> None:
+        """Register delivery/view recorders on the current epoch's
+        groups (re-run from :meth:`track_epochs` after each install)."""
+        for nid, group in self.cluster.groups.items():
+            log = self.logs.setdefault(nid, [])
+            for sg in self.subgroup_ids:
+                if sg not in group.multicasts:
+                    continue
+                group.on_delivery(
+                    sg, lambda d, log=log, sg=sg: log.append(
+                        (sg, d.seq, d.sender, d.size)))
+            if group.membership is not None:
+                views = self.views.setdefault(nid, [])
+                group.membership.on_new_view.append(
+                    lambda v, views=views: views.append(v.members))
+
+    def track_epochs(self) -> None:
+        self.cluster.on_view_installed.append(
+            lambda _view: self._hook_epoch())
+
+    # --------------------------------------------------------------- checks
+
+    def check_subgroup_logs_identical(self, problems: List[str]) -> None:
+        """Per-subgroup virtual synchrony: every live member of a plan
+        subgroup must hold the identical (sg-filtered) delivery log."""
+        live = set(self.cluster.live_nodes())
+        for spec in self.cluster.view.subgroups:
+            if spec.subgroup_id not in self.subgroup_ids:
+                continue
+            members = [n for n in spec.members if n in live]
+            if len(members) < 2:
+                continue
+            ref = [e for e in self.logs[members[0]]
+                   if e[0] == spec.subgroup_id]
+            for nid in members[1:]:
+                mine = [e for e in self.logs[nid]
+                        if e[0] == spec.subgroup_id]
+                if mine != ref:
+                    problems.append(
+                        f"sg{spec.subgroup_id} delivery logs diverge: "
+                        f"node {members[0]} vs node {nid} "
+                        f"({len(ref)} vs {len(mine)} entries)")
+
+    def check_census(self, problems: List[str], router,
+                     expected: Dict[bytes, bytes]) -> None:
+        """Every written key must hold its final value on every live
+        replica of the subgroup its shard maps to."""
+        live = set(self.cluster.live_nodes())
+        specs = {sg.subgroup_id: sg for sg in self.cluster.view.subgroups}
+        missing = 0
+        for key in sorted(expected):
+            sg = router.map.subgroup_of_key(key)
+            spec = specs.get(sg)
+            if spec is None:
+                problems.append(f"key {key!r} maps to missing sg{sg}")
+                continue
+            for nid in spec.members:
+                if nid not in live:
+                    continue
+                replica = router.service.replicas.get((sg, nid))
+                if replica is None:
+                    continue
+                got = replica.data.get(key)
+                if got != expected[key]:
+                    missing += 1
+                    if missing <= 3:
+                        problems.append(
+                            f"key {key!r} on node {nid} sg{sg}: "
+                            f"{got!r} != {expected[key]!r}")
+        if missing > 3:
+            problems.append(f"... {missing} census mismatches total")
+
+
+def _shard_clients(h: _ShardHarness, router, expected: Dict[bytes, bytes],
+                   outcomes: List, *, clients: int, puts_per_client: int,
+                   gap: float, value_pad: int = 24) -> None:
+    """Spawn ``clients`` deterministic sequential writers against the
+    router. Unlike raw subgroup senders these are *service* clients:
+    rejections/timeouts surface as outcomes, and view changes are
+    absorbed by the router's idempotent replay — so the client bodies
+    never see a wedge RuntimeError."""
+    def client(c: int):
+        for i in range(puts_per_client):
+            key = b"c%d.k%d" % (c, i)
+            value = (b"v%d.%d" % (c, i)).ljust(value_pad, b".")
+            outcome = yield from router.request("put", key, value)
+            outcomes.append((c, i, outcome.status, outcome.attempts,
+                             outcome.shard))
+            if outcome.status == "ok":
+                expected[key] = value
+            yield gap
+
+    for c in range(clients):
+        h.cluster.spawn_sender(client(c), name=f"shard-client-{c}")
+
+
+def scenario_shard_failover(seed: int) -> ScenarioResult:
+    """Kill a shard gateway under client load: node 0 — the gateway of
+    subgroup 0, hosting half the shards — crash-stops mid-stream while
+    open-loop-style clients keep writing through the router. The
+    membership plane confirms the failure, the recovery plane installs
+    the successor view, and the router must (a) re-derive the shard map
+    for the committed view, (b) promote the next live sender to gateway,
+    (c) replay every in-flight request idempotently (rid dedup makes
+    replays exactly-once even when the original committed pre-wedge),
+    so that **every client request still completes "ok"** and the
+    cross-shard verifier finds zero violations."""
+    from ..shard import RouterConfig
+
+    h = _ShardHarness(6, seed, num_shards=4, replication=3,
+                      num_subgroups=2, window=8,
+                      membership=dict(heartbeat_period=us(100),
+                                      suspicion_timeout=us(500)))
+    h.track_epochs()
+    cluster = h.cluster
+    cluster.enable_recovery()
+    router = cluster.router(RouterConfig(max_retries=400))
+
+    expected: Dict[bytes, bytes] = {}
+    outcomes: List[tuple] = []
+    _shard_clients(h, router, expected, outcomes,
+                   clients=4, puts_per_client=20, gap=us(50))
+
+    cluster.faults.crash(0, at=us(400))
+    cluster.run(until=ms(40))
+
+    problems: List[str] = []
+    if cluster.faults.crashes != 1:
+        problems.append("crash event did not fire")
+    if cluster.view.members != (1, 2, 3, 4, 5):
+        problems.append(f"final view {cluster.view.members} does not "
+                        f"exclude the crashed gateway")
+    total = 4 * 20
+    if len(outcomes) != total:
+        problems.append(f"only {len(outcomes)}/{total} requests returned")
+    not_ok = [o for o in outcomes if o[2] != "ok"]
+    if not_ok:
+        problems.append(f"{len(not_ok)} requests did not complete ok "
+                        f"(first: {not_ok[0]})")
+    c = router.counters
+    if c.gateway_changes < 1:
+        problems.append("gateway never changed despite the crash")
+    if c.epoch_retries + c.wedge_aborts < 1:
+        problems.append("no request crossed the epoch boundary "
+                        "(crash landed outside the client window)")
+    h.check_census(problems, router, expected)
+    h.check_subgroup_logs_identical(problems)
+    audit = router.verifier.check()
+    if not audit.ok:
+        problems.extend(f"shard audit: {v}" for v in audit.violations[:5])
+    notes = [f"gateway changes {c.gateway_changes}, epoch retries "
+             f"{c.epoch_retries}, wedge aborts {c.wedge_aborts}, "
+             f"duplicates {sum(r.duplicates_skipped for r in router.service.replicas.values())}",
+             f"audit: {audit.shards_checked} shards, "
+             f"{audit.keys_checked} keys checked"]
+    return h.result("shard-failover", seed, problems, notes)
+
+
+def scenario_rebalance_under_load(seed: int) -> ScenarioResult:
+    """Live shard migration under write load *and* degraded links: a
+    jitter storm stretches every link while clients stream PUTs and a
+    migration driver moves the fullest shard of subgroup 0 to the next
+    subgroup mid-run. The hand-off (freeze, drain, fence, chunked CRC
+    transfer, replay through the target's total order, checksum
+    agreement, map flip, source delete — docs/SHARDING.md) must commit
+    with zero data loss: every client write lands "ok", queued requests
+    re-route to the target, and the cross-shard verifier agrees."""
+    h = _ShardHarness(6, seed, num_shards=6, replication=2,
+                      num_subgroups=3, window=8)
+    cluster = h.cluster
+    router = cluster.router()
+    service = router.service
+
+    cluster.faults.jitter(until=ms(8), extra_latency=us(1),
+                          jitter=us(3), at=0.0)
+
+    expected: Dict[bytes, bytes] = {}
+    outcomes: List[tuple] = []
+    _shard_clients(h, router, expected, outcomes,
+                   clients=3, puts_per_client=40, gap=us(80))
+
+    records: List = []
+
+    def driver():
+        yield ms(1.5)
+        src = router.map.subgroup_ids[0]
+        shards = router.map.shards_of_subgroup(src)
+        # Deterministic pick: the fullest shard (ties: lowest id).
+        shard = max(shards, key=lambda s: (
+            len(service.shard_items(s, router.map)), -s))
+        ids = router.map.subgroup_ids
+        target = ids[(ids.index(src) + 1) % len(ids)]
+        record = yield from router.rebalancer.migrate(shard, target)
+        records.append(record)
+
+    cluster.spawn_sender(driver(), name="rebalance-driver")
+    try:
+        cluster.run_to_quiescence(max_time=2.0)
+    except RuntimeError as exc:
+        cluster.run()
+        return h.result("rebalance-under-load", seed,
+                        [f"no quiescence: {exc}"])
+
+    problems: List[str] = []
+    total = 3 * 40
+    if len(outcomes) != total:
+        problems.append(f"only {len(outcomes)}/{total} requests returned")
+    not_ok = [o for o in outcomes if o[2] != "ok"]
+    if not_ok:
+        problems.append(f"{len(not_ok)} requests did not complete ok "
+                        f"(first: {not_ok[0]})")
+    if not records:
+        problems.append("migration driver never completed")
+    else:
+        rec = records[0]
+        if not rec.ok:
+            problems.append(f"migration failed: {rec.error}")
+        if not rec.crc_ok:
+            problems.append("hand-off transfer CRC did not validate")
+        if not rec.checksum_agree:
+            problems.append("target replicas disagree with the source "
+                            "checksum")
+        if rec.keys_moved < 1:
+            problems.append("migration moved no keys")
+        if rec.chunks < 1:
+            problems.append("hand-off used no transfer chunks")
+    if router.counters.reroutes < 1:
+        problems.append("no request was re-routed by the map flip")
+    h.check_census(problems, router, expected)
+    h.check_subgroup_logs_identical(problems)
+    audit = router.verifier.check()
+    if not audit.ok:
+        problems.extend(f"shard audit: {v}" for v in audit.violations[:5])
+    notes = []
+    if records:
+        rec = records[0]
+        notes = [f"shard {rec.shard}: sg{rec.source_subgroup} -> "
+                 f"sg{rec.target_subgroup}, {rec.keys_moved} keys / "
+                 f"{rec.bytes_moved} bytes over {rec.chunks} chunks",
+                 f"reroutes {router.counters.reroutes}, rejected "
+                 f"{dict(router.counters.rejected)}",
+                 f"audit: {audit.keys_checked} keys on "
+                 f"{audit.replicas_checked} replicas"]
+    return h.result("rebalance-under-load", seed, problems, notes)
+
+
 #: name -> scenario function. Ordering is the CLI's ``--all`` ordering.
 SCENARIOS: Dict[str, Callable[[int], ScenarioResult]] = {
     "partition-heal": scenario_partition_heal,
@@ -567,6 +852,8 @@ SCENARIOS: Dict[str, Callable[[int], ScenarioResult]] = {
     "crash-restart": scenario_crash_restart,
     "crash-restart-rejoin": scenario_crash_restart_rejoin,
     "mid-transfer-source-crash": scenario_mid_transfer_source_crash,
+    "shard-failover": scenario_shard_failover,
+    "rebalance-under-load": scenario_rebalance_under_load,
 }
 
 

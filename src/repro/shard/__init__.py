@@ -1,0 +1,59 @@
+"""The sharded service plane (docs/SHARDING.md).
+
+Layers a client-facing, consistent-hash-partitioned KV service over the
+per-subgroup atomic multicast: ``shardmap`` (keys -> shards ->
+subgroups, versioned against the membership epoch), ``router``
+(bounded queues, SST-window backpressure, idempotent re-route across
+view changes), ``service`` (per-shard state-machine replication with
+request-id dedup), and ``rebalance`` (live chunked shard migration +
+the cross-shard checksum verifier).
+
+Entry point::
+
+    cluster = Cluster(num_nodes=8)
+    cluster.add_shards(num_shards=4, replication=2)
+    cluster.build()
+    router = cluster.router()
+    outcome = yield from router.request("put", b"key", b"value")
+"""
+
+from .rebalance import Rebalancer, RebalanceRecord, ShardAuditReport, ShardVerifier
+from .router import RequestOutcome, RouterConfig, ShardBusy, ShardRouter
+from .service import ShardedKv, ShardReplica, frame_request, unframe_request
+from .shardmap import ShardMap, key_hash
+
+__all__ = [
+    "ShardMap",
+    "key_hash",
+    "ShardedKv",
+    "ShardReplica",
+    "frame_request",
+    "unframe_request",
+    "RouterConfig",
+    "ShardBusy",
+    "RequestOutcome",
+    "ShardRouter",
+    "Rebalancer",
+    "RebalanceRecord",
+    "ShardVerifier",
+    "ShardAuditReport",
+    "build_shard_plane",
+]
+
+
+def build_shard_plane(cluster, config=None, transfer_config=None):
+    """Assemble map + service + router + rebalancer for a built cluster
+    that declared shards via ``Cluster.add_shards``. Returns the started
+    :class:`ShardRouter` (service/map/rebalancer hang off it)."""
+    plan = getattr(cluster, "_shard_plan", None)
+    if plan is None:
+        raise RuntimeError(
+            "cluster has no shard plan; call add_shards() before build()")
+    shard_map = ShardMap.derive(
+        plan["num_shards"], plan["subgroup_ids"], seed=cluster.seed,
+        version=cluster.view.view_id if cluster.view is not None else 0)
+    service = ShardedKv(cluster, plan["subgroup_ids"]).attach()
+    router = ShardRouter(cluster, service, shard_map, config).start()
+    router.rebalancer = Rebalancer(router, transfer_config)
+    router.verifier = ShardVerifier(router)
+    return router

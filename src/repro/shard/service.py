@@ -1,0 +1,237 @@
+"""Sharded RPC-style KV service: per-shard state-machine replication.
+
+Generalizes :class:`repro.apps.kvstore.KvNode` into a sharded service:
+
+* every request is framed with a client-chosen **request id** (rid) so
+  retries across rejections, view changes and re-routes are
+  **idempotent** — a replica applies each rid at most once and answers
+  duplicates with ``"duplicate"`` instead of re-executing them
+  (rid ``0`` is the "no dedup" sentinel used by fences and rebalance
+  replay, which are idempotent by construction);
+* replicas of one subgroup host *all* shards mapped there; per-shard
+  reads/checksums/snapshots are projections through the
+  :class:`~repro.shard.shardmap.ShardMap`;
+* ``sync_read`` stays linearizable *per shard* (a fence through that
+  shard's total order — cross-shard reads are not ordered against each
+  other, see docs/SHARDING.md for the exact consistency scope), and the
+  router optionally serves a **stale-read fast path** from the gateway
+  replica's local state.
+
+Checksums here are crc32 over the canonical item encoding — stable
+across processes (``KvNode.checksum`` uses Python's salted ``hash`` and
+is only good intra-process), which is what lets the cross-shard
+verifier and the chaos artifacts compare digests between runs.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..apps.kvstore import OP_CAS, OP_DELETE, OP_FENCE, OP_PUT, KvCommand, KvNode
+from ..core.multicast import Delivery
+from .shardmap import ShardMap
+
+__all__ = ["ShardReplica", "ShardedKv", "frame_request", "unframe_request"]
+
+#: Request-id envelope prepended to every KvCommand payload.
+_RID = struct.Struct("<Q")
+
+
+def frame_request(rid: int, inner: bytes) -> bytes:
+    """Prepend the idempotency envelope (rid 0 = no dedup)."""
+    return _RID.pack(rid) + inner
+
+
+def unframe_request(payload: bytes) -> Tuple[int, bytes]:
+    """Split a framed payload into (rid, inner KvCommand bytes)."""
+    (rid,) = _RID.unpack_from(payload)
+    return rid, payload[_RID.size:]
+
+
+class ShardReplica(KvNode):
+    """A KvNode speaking the rid-framed sharded command encoding.
+
+    State transitions happen exactly once per rid: a duplicate delivery
+    (a client retry whose original did commit before a view change)
+    skips the transition and completes the submitter's waiter with the
+    string ``"duplicate"``.
+    """
+
+    def __init__(self, mc):
+        super().__init__(mc)
+        #: rids already applied (never re-executed).
+        self.seen_requests: set = set()
+        #: deliveries suppressed by rid dedup (retry landed twice).
+        self.duplicates_skipped = 0
+
+    # ---------------------------------------------------------- replication
+
+    def apply(self, delivery: Delivery) -> None:
+        rid, inner = unframe_request(delivery.payload)
+        if rid and rid in self.seen_requests:
+            self.duplicates_skipped += 1
+            token = (delivery.sender_rank, delivery.seq)
+            waiter = self._write_waiters.pop(token, None)
+            if waiter is not None:
+                waiter.trigger("duplicate")
+            fence = self._fence_waiters.pop(token, None)
+            if fence is not None:
+                fence.trigger(None)
+            return
+        if rid:
+            self.seen_requests.add(rid)
+        super().apply(Delivery(delivery.subgroup_id, delivery.sender,
+                               delivery.sender_rank, delivery.seq,
+                               inner, delivery.size))
+
+    def apply_command(self, payload: Optional[bytes]) -> None:
+        """Recovery replay of a framed durable-log entry (dedup holds
+        across replay too: a replayed rid blocks a later live retry)."""
+        if payload is None:
+            return
+        rid, inner = unframe_request(payload)
+        if rid:
+            if rid in self.seen_requests:
+                self.duplicates_skipped += 1
+                return
+            self.seen_requests.add(rid)
+        super().apply_command(inner)
+
+    # ------------------------------------------------------------- requests
+
+    def put_req(self, rid: int, key: bytes, value: bytes) -> Generator:
+        return self._submit(
+            frame_request(rid, KvCommand.encode(OP_PUT, key, value)),
+            self._write_waiters)
+
+    def delete_req(self, rid: int, key: bytes) -> Generator:
+        return self._submit(
+            frame_request(rid, KvCommand.encode(OP_DELETE, key)),
+            self._write_waiters)
+
+    def cas_req(self, rid: int, key: bytes, expected: bytes,
+                value: bytes) -> Generator:
+        return self._submit(
+            frame_request(rid, KvCommand.encode(OP_CAS, key, value, expected)),
+            self._write_waiters)
+
+    def fence_req(self) -> Generator:
+        """Linearization fence through this subgroup's total order
+        (idempotent: always rid 0)."""
+        return self._submit(frame_request(0, KvCommand.encode(OP_FENCE)),
+                            self._fence_waiters)
+
+    def sync_read_req(self, key: bytes) -> Generator:
+        yield from self.fence_req()
+        return self.data.get(key)
+
+
+class ShardedKv:
+    """The sharded service: one :class:`ShardReplica` per (subgroup,
+    member), rebound across epochs so state survives view changes.
+
+    Created and driven by :func:`repro.shard.build_shard_plane`; the
+    router talks to it through :meth:`gateway_replica`.
+    """
+
+    def __init__(self, cluster, subgroup_ids):
+        self.cluster = cluster
+        self.subgroup_ids: List[int] = list(subgroup_ids)
+        #: (subgroup_id, node_id) -> replica. Replicas persist across
+        #: epochs (rebind), so dedup state and data carry over.
+        self.replicas: Dict[Tuple[int, int], ShardReplica] = {}
+
+    # ------------------------------------------------------------- wiring
+
+    def attach(self) -> "ShardedKv":
+        """Wire replicas for the currently installed view."""
+        self._wire(self.cluster.view)
+        return self
+
+    def rebind(self, view) -> None:
+        """Re-attach every surviving replica to the new epoch's
+        multicast endpoints (and create replicas for new members)."""
+        self._wire(view)
+
+    def _wire(self, view) -> None:
+        if view is None:
+            raise RuntimeError("cluster has no installed view; build() first")
+        for spec in view.subgroups:
+            if spec.subgroup_id not in self.subgroup_ids:
+                continue
+            for node_id in spec.members:
+                group = self.cluster.groups.get(node_id)
+                if group is None:
+                    continue
+                key = (spec.subgroup_id, node_id)
+                replica = self.replicas.get(key)
+                if replica is None:
+                    replica = ShardReplica(group.subgroup(spec.subgroup_id))
+                    self.replicas[key] = replica
+                else:
+                    replica.rebind(group.subgroup(spec.subgroup_id))
+                group.on_delivery(spec.subgroup_id, replica.apply)
+
+    # ------------------------------------------------------------ gateways
+
+    def gateway(self, subgroup_id: int) -> int:
+        """The node requests for this subgroup are executed on: the
+        first live sender of the current view's spec."""
+        view = self.cluster.view
+        live = set(self.cluster.live_nodes())
+        for spec in view.subgroups:
+            if spec.subgroup_id == subgroup_id:
+                for node in spec.senders:
+                    if node in live:
+                        return node
+                raise RuntimeError(
+                    f"subgroup {subgroup_id} has no live sender")
+        raise KeyError(f"subgroup {subgroup_id} not in installed view")
+
+    def gateway_replica(self, subgroup_id: int) -> ShardReplica:
+        return self.replicas[(subgroup_id, self.gateway(subgroup_id))]
+
+    def replica(self, subgroup_id: int, node_id: int) -> ShardReplica:
+        return self.replicas[(subgroup_id, node_id)]
+
+    # ------------------------------------------------- per-shard projections
+
+    def shard_items(self, shard: int, shard_map: ShardMap,
+                    node_id: Optional[int] = None
+                    ) -> List[Tuple[bytes, bytes]]:
+        """Sorted (key, value) pairs of one shard, read from the
+        hosting subgroup's gateway (or an explicit member)."""
+        sg = shard_map.subgroup_of(shard)
+        replica = (self.replicas[(sg, node_id)] if node_id is not None
+                   else self.gateway_replica(sg))
+        return sorted(
+            (k, v) for k, v in replica.data.items()
+            if shard_map.shard_of(k) == shard
+        )
+
+    def shard_checksum(self, shard: int, shard_map: ShardMap,
+                       node_id: Optional[int] = None) -> int:
+        """crc32 over the canonical item encoding of one shard —
+        process-stable, so it can be compared across runs and shipped
+        in chaos artifacts."""
+        h = 0
+        for key, value in self.shard_items(shard, shard_map, node_id):
+            h = zlib.crc32(struct.pack("<HI", len(key), len(value)), h)
+            h = zlib.crc32(key, h)
+            h = zlib.crc32(value, h)
+        return h
+
+    def shard_snapshot_entries(self, shard: int, shard_map: ShardMap,
+                               node_id: Optional[int] = None
+                               ) -> List[Tuple[int, int, bytes]]:
+        """The shard's state as (index, 0, framed PUT) entries, ready
+        for :func:`repro.recovery.transfer.encode_entries` (the
+        rebalance hand-off payload). rid 0: snapshot replay must never
+        collide with live request dedup."""
+        return [
+            (i, 0, frame_request(0, KvCommand.encode(OP_PUT, k, v)))
+            for i, (k, v) in enumerate(
+                self.shard_items(shard, shard_map, node_id))
+        ]

@@ -1,0 +1,240 @@
+"""Consistent-hash shard map: keys -> shards -> subgroups.
+
+The sharded service plane (docs/SHARDING.md) splits the keyspace into a
+fixed number of **shards** and places each shard on one **subgroup** —
+one independent Spindle total order (paper §2.1/§3.2; the multi-active-
+subgroup SST layout of Fig. 13 is the substrate). Aggregate throughput
+then scales with the number of subgroups, the datacenter-multicast
+partitioning argument of Gleam and of *Scaling atomic ordering in
+shared memory* (PAPERS.md).
+
+Two hash layers, both seeded and both deterministic across processes
+(sha256 — never Python's salted ``hash()``):
+
+* **key -> shard**: a consistent-hash ring with ``vnodes`` virtual
+  points per shard. The ring depends only on ``(seed, num_shards,
+  vnodes)`` — membership changes never move a key between shards.
+* **shard -> subgroup**: capacity-bounded rendezvous (highest-random-
+  weight) hashing over the *serviceable* subgroup ids. When a subgroup
+  disappears its shards move (they must) and the capacity rebound may
+  displace a few survivors — approximately minimal movement, exactly
+  balanced. Explicit ``overrides`` (live rebalancing,
+  repro.shard.rebalance) sit on top and never perturb the base
+  placement.
+
+A map is **versioned against the membership epoch**: ``rederive(view)``
+produces the successor map for a committed view, deterministically, so
+every router arrives at byte-identical placement without coordination —
+``placement_bytes()``/``digest()`` are the audit surface for that claim
+(tested: same seed + same view => identical digest).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.membership import View
+
+__all__ = ["ShardMap", "key_hash"]
+
+
+def _h64(*parts: object) -> int:
+    """64-bit stable hash of the ':'-joined parts (sha256 prefix)."""
+    blob = ":".join(str(p) for p in parts).encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+
+
+def key_hash(key: bytes, seed: int) -> int:
+    """Stable 64-bit position of a key on the ring (seeded)."""
+    digest = hashlib.sha256(b"key:%d:" % seed + bytes(key)).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ShardMap:
+    """Immutable placement of ``num_shards`` shards over subgroups.
+
+    Treat instances as values: every mutation-shaped operation
+    (:meth:`rederive`, :meth:`with_assignment`) returns a new map with a
+    bumped ``version``. Routers swap maps atomically
+    (:meth:`~repro.shard.router.ShardRouter.install_map`).
+    """
+
+    __slots__ = ("num_shards", "subgroup_ids", "seed", "version", "vnodes",
+                 "overrides", "_ring", "_assignment")
+
+    def __init__(
+        self,
+        num_shards: int,
+        subgroup_ids: Sequence[int],
+        seed: int = 0,
+        version: int = 0,
+        vnodes: int = 32,
+        overrides: Optional[Dict[int, int]] = None,
+    ):
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        if not subgroup_ids:
+            raise ValueError("need at least one serviceable subgroup")
+        if vnodes < 1:
+            raise ValueError("vnodes must be positive")
+        self.num_shards = num_shards
+        self.subgroup_ids: Tuple[int, ...] = tuple(sorted(set(subgroup_ids)))
+        self.seed = seed
+        self.version = version
+        self.vnodes = vnodes
+        overrides = dict(overrides or {})
+        for shard, sg in overrides.items():
+            if not 0 <= shard < num_shards:
+                raise ValueError(f"override for unknown shard {shard}")
+            if sg not in self.subgroup_ids:
+                raise ValueError(
+                    f"override targets unserviceable subgroup {sg}")
+        self.overrides: Dict[int, int] = overrides
+        # -- key ring: sorted (point, shard) --------------------------------
+        ring: List[Tuple[int, int]] = []
+        for shard in range(num_shards):
+            for v in range(vnodes):
+                ring.append((_h64("shard", seed, shard, v), shard))
+        ring.sort()
+        self._ring = ring
+        # -- shard -> subgroup: capacity-bounded rendezvous + overrides -----
+        # Plain rendezvous (argmax of the per-pair hash) is minimal-
+        # movement but can land every shard on one subgroup for small
+        # counts; bounding each subgroup at ceil(shards/subgroups) keeps
+        # placement balanced (the bench's scaling claim depends on it)
+        # at the price of *approximate* (not strict) rendezvous minimal
+        # movement: a vanished subgroup's shards always move, and the
+        # capacity rebound may displace a few survivors too.
+        #
+        # The base placement is a pure function of (seed, num_shards,
+        # subgroup_ids, vnodes) — overrides overlay it *afterwards* and
+        # never perturb it, so ``with_assignment(s, sg)`` moves exactly
+        # shard ``s`` (the rebalance commit's correctness depends on
+        # this: a flip that silently relocated *other* shards would
+        # strand their keys on the old subgroup).
+        capacity = -(-num_shards // len(self.subgroup_ids))
+        load: Dict[int, int] = {sg: 0 for sg in self.subgroup_ids}
+        assignment: Dict[int, int] = {}
+        for shard in range(num_shards):
+            prefs = sorted(
+                self.subgroup_ids,
+                key=lambda sg: (_h64("place", seed, shard, sg), sg),
+                reverse=True,
+            )
+            chosen = next((sg for sg in prefs if load[sg] < capacity),
+                          prefs[0])
+            assignment[shard] = chosen
+            load[chosen] += 1
+        assignment.update(overrides)
+        self._assignment = assignment
+
+    # ------------------------------------------------------------- lookups
+
+    def shard_of(self, key: bytes) -> int:
+        """The shard owning ``key`` (pure function of seed + num_shards)."""
+        point = key_hash(key, self.seed)
+        ring = self._ring
+        idx = bisect_right(ring, (point, self.num_shards))
+        if idx == len(ring):
+            idx = 0  # wrap: first point clockwise
+        return ring[idx][1]
+
+    def subgroup_of(self, shard: int) -> int:
+        """The subgroup currently hosting ``shard``."""
+        return self._assignment[shard]
+
+    def subgroup_of_key(self, key: bytes) -> int:
+        return self.subgroup_of(self.shard_of(key))
+
+    def shards_of_subgroup(self, subgroup_id: int) -> List[int]:
+        """All shards hosted by one subgroup (sorted)."""
+        return sorted(s for s, sg in self._assignment.items()
+                      if sg == subgroup_id)
+
+    def placement(self) -> Dict[int, int]:
+        """shard -> subgroup (a copy)."""
+        return dict(self._assignment)
+
+    # ------------------------------------------------------------ identity
+
+    def placement_bytes(self) -> bytes:
+        """Canonical serialization of everything routing-relevant.
+
+        Two routers whose maps serialize identically will route every
+        key identically — the determinism tests pin this byte-for-byte.
+        """
+        parts = [struct.pack("<IIqI", self.num_shards, self.vnodes,
+                             self.seed, self.version)]
+        parts.append(struct.pack("<I", len(self.subgroup_ids)))
+        for sg in self.subgroup_ids:
+            parts.append(struct.pack("<i", sg))
+        for shard in range(self.num_shards):
+            parts.append(struct.pack("<Ii", shard, self._assignment[shard]))
+        h = hashlib.sha256()
+        for point, shard in self._ring:
+            h.update(struct.pack("<QI", point, shard))
+        parts.append(h.digest())
+        return b"".join(parts)
+
+    def digest(self) -> str:
+        """sha256 hex of :meth:`placement_bytes` (the audit handle)."""
+        return hashlib.sha256(self.placement_bytes()).hexdigest()
+
+    # ----------------------------------------------------------- evolution
+
+    @classmethod
+    def derive(cls, num_shards: int, subgroup_ids: Sequence[int],
+               seed: int = 0, version: int = 0,
+               vnodes: int = 32) -> "ShardMap":
+        """The initial map for a freshly built cluster."""
+        return cls(num_shards, subgroup_ids, seed=seed, version=version,
+                   vnodes=vnodes)
+
+    def rederive(self, view: View,
+                 serviceable_ids: Optional[Iterable[int]] = None
+                 ) -> "ShardMap":
+        """The successor map for a committed membership ``view``.
+
+        Deterministic in ``(self, view)``: every node computes the same
+        map with no coordination. ``serviceable_ids`` defaults to the
+        subgroups (of this map's original set) that still exist in the
+        view with at least one sender; overrides survive iff their
+        target is still serviceable. The version is pinned to the view
+        id, so maps and epochs stay in lockstep.
+        """
+        if serviceable_ids is None:
+            present = {sg.subgroup_id for sg in view.subgroups if sg.senders}
+            serviceable = [sg for sg in self.subgroup_ids if sg in present]
+        else:
+            serviceable = sorted(set(serviceable_ids))
+        if not serviceable:
+            raise ValueError("no serviceable subgroup left for the shards")
+        overrides = {s: sg for s, sg in self.overrides.items()
+                     if sg in serviceable}
+        return ShardMap(self.num_shards, serviceable, seed=self.seed,
+                        version=view.view_id, vnodes=self.vnodes,
+                        overrides=overrides)
+
+    def with_assignment(self, shard: int, subgroup_id: int) -> "ShardMap":
+        """A new map pinning ``shard`` to ``subgroup_id`` (rebalance
+        hand-off commit point), version bumped by one."""
+        overrides = dict(self.overrides)
+        overrides[shard] = subgroup_id
+        return ShardMap(self.num_shards, self.subgroup_ids, seed=self.seed,
+                        version=self.version + 1, vnodes=self.vnodes,
+                        overrides=overrides)
+
+    def moved_shards(self, other: "ShardMap") -> List[int]:
+        """Shards whose hosting subgroup differs between two maps."""
+        if other.num_shards != self.num_shards:
+            raise ValueError("maps with different shard counts")
+        return sorted(s for s in range(self.num_shards)
+                      if self._assignment[s] != other._assignment[s])
+
+    def __repr__(self) -> str:
+        return (f"<ShardMap v{self.version} shards={self.num_shards} "
+                f"subgroups={list(self.subgroup_ids)} "
+                f"digest={self.digest()[:12]}>")

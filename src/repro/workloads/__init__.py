@@ -1,13 +1,21 @@
 """Workloads: cluster builder, sender processes, experiment harness."""
 
 from .cluster import Cluster
-from .generators import continuous_sender, jittered_sender, limited_sender
+from .generators import (
+    SloStats,
+    continuous_sender,
+    jittered_sender,
+    limited_sender,
+    open_loop_client,
+)
 
 __all__ = [
     "Cluster",
     "continuous_sender",
     "limited_sender",
     "jittered_sender",
+    "open_loop_client",
+    "SloStats",
 ]
 
 from .runner import (

@@ -75,6 +75,9 @@ class Cluster:
         self._membership_params: Optional[dict] = None
         self._faults = None
         self._recovery = None
+        #: Declared by :meth:`add_shards`; consumed by :meth:`router`.
+        self._shard_plan: Optional[dict] = None
+        self._router = None
         self._fabric_collectors_registered = False
         #: Crash-stopped nodes (they stay in ``node_ids`` — provisioned
         #: machines — but are excluded from :meth:`live_nodes`).
@@ -123,6 +126,69 @@ class Cluster:
         )
         self._specs.append(spec)
         return spec
+
+    def add_shards(
+        self,
+        num_shards: int,
+        replication: int = 2,
+        num_subgroups: Optional[int] = None,
+        window: int = 16,
+        message_size: int = 512,
+        persistent: bool = False,
+    ) -> List[SubgroupSpec]:
+        """Declare the sharded service plane's subgroups (before
+        :meth:`build`): ``num_subgroups`` (default: one per shard,
+        capped by what ``num_nodes``/``replication`` can host
+        disjointly) atomic subgroups of ``replication`` members each,
+        round-robin over the provisioned nodes, plus the shard plan the
+        router derives its consistent-hash map from (docs/SHARDING.md).
+
+        Returns the created specs; access the plane after build via
+        :meth:`router`.
+        """
+        if self._built:
+            raise RuntimeError("cluster already built")
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        if replication < 1:
+            raise ValueError("replication must be positive")
+        if replication > len(self.node_ids):
+            raise ValueError(
+                f"replication {replication} exceeds {len(self.node_ids)} nodes")
+        if num_subgroups is None:
+            num_subgroups = min(num_shards,
+                                max(1, len(self.node_ids) // replication))
+        specs: List[SubgroupSpec] = []
+        n = len(self.node_ids)
+        for i in range(num_subgroups):
+            members = [self.node_ids[(i * replication + j) % n]
+                       for j in range(replication)]
+            specs.append(self.add_subgroup(
+                members=members, window=window, message_size=message_size,
+                persistent=persistent))
+        self._shard_plan = {
+            "num_shards": num_shards,
+            "subgroup_ids": [spec.subgroup_id for spec in specs],
+        }
+        return specs
+
+    def router(self, config=None, transfer_config=None) -> "ShardRouter":
+        """The sharded service plane's request router (built lazily on
+        first access; requires :meth:`add_shards` + :meth:`build`)::
+
+            cluster.add_shards(num_shards=4, replication=2)
+            cluster.build()
+            outcome = yield from cluster.router().request(
+                "put", b"key", b"value")
+        """
+        if self._router is None:
+            if not self._built:
+                raise RuntimeError("build() the cluster before router()")
+            from ..shard import build_shard_plane
+
+            self._router = build_shard_plane(
+                self, config=config, transfer_config=transfer_config)
+        return self._router
 
     def enable_membership(self, heartbeat_period: float = 100e-6,
                           suspicion_timeout: float = 500e-6,

@@ -11,15 +11,25 @@ Each generator is a simulated-process generator to pass to
 * :func:`jittered_sender` — random inter-send gaps, for robustness and
   property tests (not a paper figure, but the "real setting, more varied
   patterns" of §4.2.2).
+* :func:`open_loop_client` — Poisson arrivals with per-request
+  deadline/SLO accounting (:class:`SloStats`). Unlike the closed-loop
+  senders above (which self-throttle: the next send waits for the
+  previous one's slot), an open-loop client keeps arriving at its rate
+  regardless of service progress — the only workload shape that can
+  expose queueing collapse under overload, which is exactly what the
+  sharded service plane's admission control exists to prevent
+  (docs/SHARDING.md).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
 
 from ..core.multicast import SubgroupMulticast
 
-__all__ = ["continuous_sender", "limited_sender", "jittered_sender"]
+__all__ = ["continuous_sender", "limited_sender", "jittered_sender",
+           "open_loop_client", "SloStats"]
 
 PayloadFn = Callable[[int], Optional[bytes]]
 
@@ -78,3 +88,129 @@ def jittered_sender(
         if gap > 0:
             yield gap
     mc.mark_finished()
+
+
+# ===========================================================================
+# Open-loop clients (the sharded service plane's load sources)
+# ===========================================================================
+
+
+@dataclass
+class SloStats:
+    """Deadline/SLO accounting for one (or a pool of) open-loop clients.
+
+    Latency is measured arrival-to-outcome in simulated seconds; a
+    request *completes* when its generator returns. Outcomes are
+    bucketed by the ``status`` attribute of whatever the request
+    generator returns ("ok" / "rejected" / "timeout"; anything else —
+    including plain return values from non-router requests — counts as
+    ok). ``slo_misses`` additionally counts ok-completions that landed
+    after their deadline (served, but too late).
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    ok: int = 0
+    rejected: int = 0
+    timeouts: int = 0
+    slo_misses: int = 0
+    attempts: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+    def record(self, status: str, latency: float,
+               deadline_missed: bool = False, attempts: int = 1) -> None:
+        self.completed += 1
+        self.attempts += attempts
+        if status == "rejected":
+            self.rejected += 1
+            return
+        if status == "timeout":
+            self.timeouts += 1
+            return
+        self.ok += 1
+        self.latencies.append(latency)
+        if deadline_missed:
+            self.slo_misses += 1
+
+    # ----------------------------------------------------------- summaries
+
+    def percentile(self, p: float) -> float:
+        """Latency percentile over ok-completions (0 when empty)."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        idx = min(len(ordered) - 1, int(p / 100.0 * len(ordered)))
+        return ordered[idx]
+
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    def to_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "ok": self.ok,
+            "rejected": self.rejected,
+            "timeouts": self.timeouts,
+            "slo_misses": self.slo_misses,
+            "attempts": self.attempts,
+            "p50_latency": self.p50(),
+            "p99_latency": self.p99(),
+            "mean_latency": self.mean_latency(),
+        }
+
+
+def open_loop_client(
+    sim,
+    request_factory: Callable[[int], object],
+    rate: float,
+    count: int,
+    rng,
+    stats: Optional[SloStats] = None,
+    deadline: Optional[float] = None,
+    name: str = "client",
+):
+    """Open-loop Poisson client: arrivals at ``rate`` requests/second.
+
+    ``request_factory(k)`` returns the k-th request *generator* (e.g.
+    ``lambda k: router.request("put", key(k), value(k))``). Each arrival
+    is spawned as its own simulated process, so a slow or rejected
+    request never delays the next arrival — the defining property of an
+    open-loop workload. ``deadline`` (seconds, relative to arrival) is
+    passed to :class:`SloStats` accounting: ok-completions past it are
+    SLO misses.
+
+    Inter-arrival gaps draw from ``rng.expovariate(rate)`` — seed the
+    RNG for deterministic runs. Returns the :class:`SloStats` used (the
+    ``stats`` argument, or a fresh one reachable from the generator's
+    return value when driven to completion).
+    """
+    if rate <= 0:
+        raise ValueError("arrival rate must be positive")
+    if count < 1:
+        raise ValueError("count must be positive")
+    if stats is None:
+        stats = SloStats()
+
+    def one(k: int, arrived: float):
+        outcome = yield from request_factory(k)
+        latency = sim.now - arrived
+        status = getattr(outcome, "status", "ok")
+        attempts = getattr(outcome, "attempts", 1)
+        missed = deadline is not None and latency > deadline
+        stats.record(status, latency, deadline_missed=missed,
+                     attempts=attempts)
+
+    for k in range(count):
+        yield rng.expovariate(rate)
+        stats.submitted += 1
+        sim.spawn(one(k, sim.now), name=f"{name}.req{k}")
+    return stats

@@ -24,6 +24,7 @@ EXPECTED_SNIPPETS = {
     "external_client.py": "identical order: True",
     "durable_multicast.py": "logs identical on every replica: True",
     "replicated_kvstore.py": "exactly one: True",
+    "sharded_kvstore.py": "violations: 0 (clean: True)",
 }
 
 
