@@ -19,7 +19,14 @@ them on every push during simulation. Both are wired into the
 pytest fixture.
 """
 
+from .check import (
+    CheckReport,
+    check_paths,
+    check_sources,
+    format_check_report,
+)
 from .findings import Finding, load_baseline, parse_suppressions
+from .hb import HBTracker, disable_hb, enable_hb, global_tracker
 from .passes import ALL_PASSES, LintPass
 from .runner import LintReport, format_report, lint_paths, lint_source
 from .sanitizer import (
@@ -31,6 +38,14 @@ from .sanitizer import (
 )
 
 __all__ = [
+    "CheckReport",
+    "check_paths",
+    "check_sources",
+    "format_check_report",
+    "HBTracker",
+    "enable_hb",
+    "disable_hb",
+    "global_tracker",
     "Finding",
     "load_baseline",
     "parse_suppressions",

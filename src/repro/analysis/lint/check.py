@@ -1,0 +1,276 @@
+"""spindle-check: the whole-program analysis driver (docs/CHECK.md).
+
+Where ``spindle-repro lint`` runs four *intraprocedural* passes file by
+file, ``spindle-repro check`` additionally builds one :class:`~repro.
+analysis.lint.callgraph.Program` over every target file and runs the two
+*interprocedural* passes on it:
+
+* :class:`~repro.analysis.lint.lockset.LocksetPass` — infers which Lock
+  guards writes to each shared attribute and flags writes reachable from
+  concurrency roots with an empty or inconsistent lockset (paper §3.4);
+* :class:`~repro.analysis.lint.determinism.DeterminismPass` — forbids
+  wall-clock reads, unseeded randomness, ``id()``-keyed control flow,
+  raw set iteration and order-sensitive float accumulation on any path
+  reachable from simulation event handlers.
+
+Suppressions and baselines reuse the spindle-lint machinery verbatim
+(``# spindle-lint: allow[rule]`` comments, line-free fingerprints), but
+the check baseline lives in its own file so the two tools can be
+re-baselined independently. Unlike the lint runner, the check runner
+also reports *stale* baseline entries — fingerprints that no longer
+match any finding — so fixed findings cannot linger as silent holes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .callgraph import Program, build_program
+from .determinism import DeterminismPass
+from .findings import RULES, Finding, load_baseline, parse_suppressions
+from .lockset import LocksetPass
+from .passes import ALL_PASSES
+from .runner import _display_path, iter_python_files, lint_source
+
+__all__ = [
+    "CheckReport",
+    "check_paths",
+    "check_sources",
+    "format_check_report",
+    "check_report_dict",
+    "check_report_sarif",
+    "DEFAULT_CHECK_BASELINE_NAME",
+]
+
+#: Conventional checked-in baseline location for ``check`` (repo root).
+#: Separate from ``.spindle-lint-baseline`` so the two tools can be
+#: re-baselined independently.
+DEFAULT_CHECK_BASELINE_NAME = ".spindle-check-baseline"
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one ``spindle-repro check`` run."""
+
+    findings: List[Finding] = field(default_factory=list)   # new findings
+    baselined: List[Finding] = field(default_factory=list)  # known, ignored
+    suppressed: int = 0                                     # inline allows
+    #: Baseline fingerprints that matched no finding this run: the
+    #: underlying issue was fixed (or the symbol moved) and the entry
+    #: should be deleted. Reported, not fatal — a stale entry hides
+    #: nothing by itself, but left to rot it can mask a regression that
+    #: happens to land on the same fingerprint.
+    stale_baseline: List[str] = field(default_factory=list)
+    files_scanned: int = 0
+    modules_analyzed: int = 0
+    functions_analyzed: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+
+def _program_passes(select: Optional[Iterable[str]]):
+    """The interprocedural passes, optionally filtered by pass name."""
+    passes = [LocksetPass(), DeterminismPass()]
+    if select is None:
+        return passes
+    wanted = set(select)
+    return [p for p in passes if p.name in wanted]
+
+
+def check_sources(
+    sources: List[Tuple[str, str]],
+    select: Optional[Iterable[str]] = None,
+    baseline: Optional[Set[str]] = None,
+    include_lint: bool = True,
+) -> CheckReport:
+    """Run spindle-check over in-memory ``(display_path, source)`` pairs.
+
+    Unit tests use this directly; :func:`check_paths` reads files and
+    delegates here. ``select`` filters by *pass* name over the union of
+    the four lint passes and the two program passes; with
+    ``include_lint=False`` only the program passes run.
+    """
+    baseline = set(baseline or ())
+    report = CheckReport(files_scanned=len(sources))
+
+    lint_select: Optional[Set[str]] = None
+    if select is not None:
+        program_names = {"lockset", "determinism"}
+        known = program_names | {p.name for p in ALL_PASSES}
+        unknown = set(select) - known
+        if unknown:
+            raise ValueError(
+                f"unknown check pass(es): {sorted(unknown)}; "
+                f"available: {sorted(known)}")
+        lint_select = set(select) - program_names
+
+    suppressions: Dict[str, Dict[int, Set[str]]] = {}
+    raw: List[Finding] = []
+
+    # Per-file intraprocedural passes (same four as spindle-lint), run
+    # without suppression/baseline filtering — filtering happens once,
+    # below, uniformly with the program findings.
+    for display, source in sources:
+        suppressions[display] = parse_suppressions(source.splitlines())
+        if not include_lint or (lint_select is not None and not lint_select):
+            # still surface syntax errors even when lint passes are off
+            try:
+                ast.parse(source, filename=display)
+            except SyntaxError as exc:
+                report.errors.append(f"{display}: syntax error: {exc}")
+            continue
+        file_report = lint_source(source, path=display,
+                                  select=sorted(lint_select)
+                                  if lint_select is not None else None)
+        raw.extend(file_report.findings)
+        report.errors.extend(file_report.errors)
+
+    # Whole-program interprocedural passes over one shared Program.
+    program: Program = build_program(sources)
+    report.modules_analyzed = len(program.modules)
+    report.functions_analyzed = len(program.functions)
+    for program_pass in _program_passes(select):
+        raw.extend(program_pass.run_program(program))
+
+    matched: Set[str] = set()
+    for finding in raw:
+        allowed = suppressions.get(finding.path, {}).get(finding.line, set())
+        if finding.rule in allowed or "all" in allowed:
+            report.suppressed += 1
+        elif finding.fingerprint in baseline:
+            matched.add(finding.fingerprint)
+            report.baselined.append(finding)
+        else:
+            report.findings.append(finding)
+    report.stale_baseline = sorted(baseline - matched)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    report.baselined.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report
+
+
+def check_paths(
+    paths: Iterable[str],
+    select: Optional[Iterable[str]] = None,
+    baseline: Optional[Set[str]] = None,
+    baseline_path: Optional[str] = None,
+    root: Optional[str] = None,
+    include_lint: bool = True,
+) -> CheckReport:
+    """Run spindle-check over files and/or directory trees."""
+    if baseline is None and baseline_path is not None:
+        with open(baseline_path, "r", encoding="utf-8") as fh:
+            baseline = load_baseline(fh.read())
+    sources: List[Tuple[str, str]] = []
+    errors: List[str] = []
+    scanned = 0
+    for path in iter_python_files(paths):
+        scanned += 1
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            errors.append(f"{path}: {exc}")
+            continue
+        sources.append((_display_path(path, root), source))
+    report = check_sources(sources, select=select, baseline=baseline,
+                           include_lint=include_lint)
+    report.files_scanned = scanned
+    report.errors = errors + report.errors
+    return report
+
+
+# ------------------------------------------------------------------ output
+
+
+def format_check_report(report: CheckReport, verbose: bool = False) -> str:
+    """Compiler-style text output: one finding per line, then a summary."""
+    lines: List[str] = []
+    for finding in report.findings:
+        lines.append(finding.render())
+    if verbose:
+        for finding in report.baselined:
+            lines.append(f"{finding.render()}  [baselined]")
+    for error in report.errors:
+        lines.append(f"error: {error}")
+    for fingerprint in report.stale_baseline:
+        lines.append(f"warning: stale baseline entry (no longer matches "
+                     f"any finding): {fingerprint}")
+    lines.append(
+        f"spindle-check: {len(report.findings)} finding(s), "
+        f"{len(report.baselined)} baselined, {report.suppressed} "
+        f"suppressed, {len(report.stale_baseline)} stale baseline "
+        f"entr(ies) | {report.files_scanned} file(s), "
+        f"{report.modules_analyzed} module(s), "
+        f"{report.functions_analyzed} function(s)"
+    )
+    return "\n".join(lines)
+
+
+def check_report_dict(report: CheckReport) -> Dict[str, object]:
+    """JSON-ready form (``spindle-repro check --format json``)."""
+    return {
+        "tool": "spindle-check",
+        "ok": report.ok,
+        "findings": [f.to_dict() for f in report.findings],
+        "baselined": [f.to_dict() for f in report.baselined],
+        "suppressed": report.suppressed,
+        "stale_baseline": list(report.stale_baseline),
+        "errors": list(report.errors),
+        "files_scanned": report.files_scanned,
+        "modules_analyzed": report.modules_analyzed,
+        "functions_analyzed": report.functions_analyzed,
+    }
+
+
+def check_report_sarif(report: CheckReport) -> Dict[str, object]:
+    """Minimal SARIF 2.1.0 document (one run, one result per finding).
+
+    Enough structure for code-scanning uploads and editor SARIF
+    viewers: rule catalog with descriptions, physical locations with
+    1-based columns, and the spindle fingerprint as a partial
+    fingerprint so result matching survives line churn.
+    """
+    used = sorted({f.rule for f in report.findings}
+                  | {f.rule for f in report.baselined})
+    rules = [
+        {
+            "id": rule,
+            "shortDescription": {"text": RULES[rule][1]},
+            "properties": {"pass": RULES[rule][0]},
+        }
+        for rule in used if rule in RULES
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f"{f.message} (in {f.symbol})"},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path},
+                    "region": {"startLine": f.line,
+                               "startColumn": f.col + 1},
+                },
+            }],
+            "partialFingerprints": {"spindleCheck/v1": f.fingerprint},
+        }
+        for f in report.findings
+    ]
+    return {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "spindle-check",
+                "informationUri": "docs/CHECK.md",
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }

@@ -56,6 +56,42 @@ RULES: Dict[str, tuple] = {
         "waking a waiter synchronously bypasses the simulator queue and "
         "breaks same-time FIFO ordering; use sim.call_after(0.0, ...)",
     ),
+    # ---- spindle-check whole-program rules (docs/CHECK.md) ---------------
+    "lockset-unprotected-write": (
+        "lockset",
+        "write to lock-protected shared state with an empty lockset on "
+        "a path reachable from a concurrency root (paper §3.4)",
+    ),
+    "lockset-inconsistent": (
+        "lockset",
+        "write to shared state holding a lock disjoint from the "
+        "attribute's inferred guard (paper §3.4)",
+    ),
+    "nondet-wall-clock": (
+        "determinism",
+        "wall-clock read (time.time/datetime.now/...) in simulation-"
+        "reachable code breaks seeded bit-determinism; use sim.now",
+    ),
+    "nondet-unseeded-random": (
+        "determinism",
+        "module-level random.* or unseeded Random() in simulation-"
+        "reachable code; all randomness must come from seeded RNGs",
+    ),
+    "nondet-id-order": (
+        "determinism",
+        "id() used as a key or ordering: object addresses are reused "
+        "and vary across runs",
+    ),
+    "nondet-set-iteration": (
+        "determinism",
+        "set iteration order is salted by PYTHONHASHSEED; wrap in "
+        "sorted(...) before it feeds scheduling or placement",
+    ),
+    "nondet-float-accumulation": (
+        "determinism",
+        "float '+=' accumulation inside an unordered loop: addition is "
+        "not associative, so the result depends on iteration order",
+    ),
 }
 
 
@@ -78,6 +114,14 @@ class Finding:
     def render(self) -> str:
         return (f"{self.path}:{self.line}:{self.col}: "
                 f"[{self.rule}] {self.message} (in {self.symbol})")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (``spindle-repro check --format json``)."""
+        return {
+            "path": self.path, "line": self.line, "col": self.col,
+            "rule": self.rule, "message": self.message,
+            "symbol": self.symbol, "fingerprint": self.fingerprint,
+        }
 
 
 _SUPPRESS_RE = re.compile(

@@ -523,6 +523,55 @@ def cmd_lint(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_check(args) -> int:
+    import json
+
+    from .analysis.lint.check import (
+        DEFAULT_CHECK_BASELINE_NAME,
+        check_paths,
+        check_report_dict,
+        check_report_sarif,
+        format_check_report,
+    )
+    from .analysis.lint.findings import format_baseline
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        if os.path.exists(DEFAULT_CHECK_BASELINE_NAME):
+            baseline_path = DEFAULT_CHECK_BASELINE_NAME
+    if args.write_baseline:
+        baseline_path = None  # writing: start from the raw findings
+    select = args.passes.split(",") if args.passes else None
+    try:
+        report = check_paths(args.paths, select=select,
+                             baseline_path=baseline_path,
+                             include_lint=not args.no_lint)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"spindle-check: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = args.baseline or DEFAULT_CHECK_BASELINE_NAME
+        body = format_baseline(report.findings + report.baselined)
+        body = body.replace("spindle-repro lint src --write-baseline",
+                            "spindle-repro check src --write-baseline")
+        with open(target, "w", encoding="utf-8") as fh:
+            fh.write(body)
+        print(f"spindle-check: wrote {target} "
+              f"({len(report.findings) + len(report.baselined)} entries)")
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(check_report_dict(report), indent=2,
+                         sort_keys=True))
+    elif args.format == "sarif":
+        print(json.dumps(check_report_sarif(report), indent=2,
+                         sort_keys=True))
+    else:
+        print(format_check_report(report, verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
 def _add_common(parser, count=200):
     parser.add_argument("--nodes", type=int, default=8,
                         help="cluster size (paper: 2..16)")
@@ -695,6 +744,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="also print baselined findings")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "check",
+        help="whole-program lockset + determinism analysis "
+             "(docs/CHECK.md)")
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to analyze (default: src)")
+    p.add_argument("--baseline", default=None,
+                   help="baseline file of known findings (default: "
+                        "./.spindle-check-baseline if present)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore any baseline file")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="write current findings as the new baseline")
+    p.add_argument("--passes", default=None,
+                   help="comma-separated pass subset (lockset,determinism,"
+                        "monotonicity,predicate-purity,lock-discipline,"
+                        "sim-hygiene)")
+    p.add_argument("--no-lint", action="store_true",
+                   help="skip the per-file lint passes; run only the "
+                        "whole-program lockset/determinism passes")
+    p.add_argument("--format", choices=["text", "json", "sarif"],
+                   default="text", help="output format (default: text)")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print baselined findings")
+    p.set_defaults(fn=cmd_check)
 
     return parser
 

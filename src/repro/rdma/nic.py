@@ -94,6 +94,13 @@ class FaultDecision(NamedTuple):
 class RdmaNode:
     """A machine on the RDMA fabric: NIC + registered memory regions."""
 
+    #: Happens-before tracker hook (repro.analysis.lint.hb): called as
+    #: ``hb_hook(region, snap)`` after a remote write is applied — the
+    #: tracker parks the writer's clock on the region so that polling
+    #: reads of it (the SST's one-sided synchronization mechanism) can
+    #: pick up the cross-node causality edge.
+    hb_hook = None
+
     def __init__(self, node_id: int, sim: Simulator, latency: LatencyModel):
         self.node_id = node_id
         self.sim = sim
@@ -154,6 +161,8 @@ class RdmaNode:
             self.count_drop(DROP_REGION_DEREGISTERED)
             return
         region.apply_write(snap)
+        if RdmaNode.hb_hook is not None:
+            RdmaNode.hb_hook(region, snap)
         self.writes_received += 1
         self.bytes_received += snap.size_bytes
         for hook in self.on_remote_write:

@@ -70,6 +70,20 @@ class Simulator:
     live in :mod:`repro.sim.units`.
     """
 
+    #: Optional scheduling hook for the happens-before tracker
+    #: (:mod:`repro.analysis.lint.hb`).  When set (on the class), every
+    #: ``call_at`` passes ``(sim, fn, args)`` through it and schedules
+    #: whatever it returns — letting the tracker thread vector-clock
+    #: snapshots from the scheduling context to the fire context.  None
+    #: (the default) costs one attribute check per scheduled event.
+    hb_hook = None
+    #: Companion hook called as ``hb_run_hook(sim)`` when :meth:`run`
+    #: returns: the caller (usually test code between ``run`` calls) is
+    #: causally after every event that just executed, and the tracker
+    #: needs that edge to avoid phantom races against the caller's
+    #: subsequent actions.
+    hb_run_hook = None
+
     def __init__(self, seed: int = 0):
         self._now: float = 0.0
         self._heap: List[Tuple[float, int, Timer]] = []
@@ -99,6 +113,8 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
+        if Simulator.hb_hook is not None:
+            fn, args = Simulator.hb_hook(self, fn, args)
         timer = Timer(time, fn, args)
         heapq.heappush(self._heap, (time, next(self._seq), timer))
         return timer
@@ -142,6 +158,8 @@ class Simulator:
             timer._fire()
         if until is not None and self._now < until and not self._stopped:
             self._now = until
+        if Simulator.hb_run_hook is not None:
+            Simulator.hb_run_hook(self)
         return self._now
 
     def run_until_idle(self, max_time: Optional[float] = None) -> float:

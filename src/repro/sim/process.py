@@ -47,6 +47,14 @@ class Process:
     __slots__ = ("sim", "name", "_gen", "_alive", "result", "completion",
                  "_suspended", "_deferred")
 
+    #: Happens-before tracker hook (repro.analysis.lint.hb): called as
+    #: ``hb_hook("kill", process)`` when a process is killed.  A killed
+    #: process can never act again, so everything it ever did happens
+    #: before everything the killer does next — without this edge, a
+    #: crash-restart sequence looks like a race between the two
+    #: incarnations of the node's threads.
+    hb_hook = None
+
     def __init__(self, sim: Simulator, gen: Generator[Any, Any, Any], name: str = "proc"):
         if not hasattr(gen, "send"):
             raise SimulationError(f"Process requires a generator, got {type(gen)!r}")
@@ -83,6 +91,8 @@ class Process:
         if self._alive:
             self._alive = False
             self._deferred = None
+            if Process.hb_hook is not None:
+                Process.hb_hook("kill", self)
             self._gen.close()
 
     # ------------------------------------------------------------ suspension

@@ -21,7 +21,14 @@ class Event:
     protocols honest).
     """
 
-    __slots__ = ("sim", "name", "triggered", "value", "_waiters")
+    __slots__ = ("sim", "name", "triggered", "value", "_waiters", "_hb_vc")
+
+    #: Happens-before tracker hook (repro.analysis.lint.hb): called as
+    #: ``hb_hook(op, event)`` with op in {"trigger", "replay"}.  The
+    #: "replay" op covers the only wakeup path that does NOT pass the
+    #: trigger context through the scheduler: a waiter arriving *after*
+    #: the trigger (``_hb_vc`` carries the trigger-time clock to it).
+    hb_hook = None
 
     def __init__(self, sim, name: str = "event"):
         self.sim = sim
@@ -29,11 +36,14 @@ class Event:
         self.triggered = False
         self.value: Any = None
         self._waiters: List[Callable[[Any], None]] = []
+        self._hb_vc = None
 
     def trigger(self, value: Any = None) -> None:
         """Fire the event, waking all waiters via the event queue."""
         if self.triggered:
             raise RuntimeError(f"event {self.name!r} triggered twice")
+        if Event.hb_hook is not None:
+            Event.hb_hook("trigger", self)
         self.triggered = True
         self.value = value
         waiters, self._waiters = self._waiters, []
@@ -44,6 +54,8 @@ class Event:
         """Register a callback for the trigger (fires immediately-queued
         if the event already triggered)."""
         if self.triggered:
+            if Event.hb_hook is not None:
+                Event.hb_hook("replay", self)
             self.sim.call_after(0.0, callback, self.value)
         else:
             self._waiters.append(callback)
@@ -63,7 +75,14 @@ class Doorbell:
                 yield doorbell.wait()     # returns at once if ring pending
     """
 
-    __slots__ = ("sim", "name", "_pending", "_waiters", "rings")
+    __slots__ = ("sim", "name", "_pending", "_waiters", "rings", "_hb_vc")
+
+    #: Happens-before tracker hook: ``hb_hook(op, doorbell)`` with op in
+    #: {"ring", "drain"}.  A ring with nobody waiting leaves no event
+    #: behind, so the ringer's clock is parked on the doorbell ("ring")
+    #: and joined into the poller that later consumes the pending flag
+    #: ("drain") — otherwise that wakeup edge would be invisible.
+    hb_hook = None
 
     def __init__(self, sim, name: str = "doorbell"):
         self.sim = sim
@@ -71,6 +90,7 @@ class Doorbell:
         self._pending = False
         self._waiters: List[Event] = []
         self.rings = 0
+        self._hb_vc = None
 
     def ring(self) -> None:
         """Wake all waiters; remember the ring if nobody is waiting."""
@@ -80,6 +100,8 @@ class Doorbell:
             for event in waiters:
                 event.trigger(None)
         else:
+            if Doorbell.hb_hook is not None:
+                Doorbell.hb_hook("ring", self)
             self._pending = True
 
     def wait(self) -> Event:
@@ -87,6 +109,8 @@ class Doorbell:
         event = Event(self.sim, name=f"{self.name}.wait")
         if self._pending:
             self._pending = False
+            if Doorbell.hb_hook is not None:
+                Doorbell.hb_hook("drain", self)
             event.trigger(None)
         else:
             self._waiters.append(event)
@@ -134,7 +158,14 @@ class Lock:
 
     __slots__ = ("sim", "name", "locked", "held_by", "held_since",
                  "_queue", "acquires", "contended_acquires", "wait_time",
-                 "_last_holder")
+                 "_last_holder", "_hb_vc")
+
+    #: Happens-before tracker hook: ``hb_hook(op, lock, owner)`` with op
+    #: in {"grant", "release"}.  Release joins the holder's clock into
+    #: the lock (``_hb_vc``); grant joins the lock's clock into the new
+    #: owner — so two critical sections under the same lock are ordered
+    #: even when the hand-off is uncontended (no scheduler edge).
+    hb_hook = None
 
     def __init__(self, sim, name: str = "lock"):
         self.sim = sim
@@ -149,6 +180,7 @@ class Lock:
         self.contended_acquires = 0
         self.wait_time = 0.0
         self._last_holder: Any = None
+        self._hb_vc = None
 
     def acquire(self, owner: Any = None) -> Event:
         """Return an event that fires once the lock is held by the caller.
@@ -193,6 +225,8 @@ class Lock:
                 f"(claimant: {self._describe(owner)}, "
                 f"holder: {self._describe(self.held_by)})"
             )
+        if Lock.hb_hook is not None:
+            Lock.hb_hook("release", self, self.held_by)
         while self._queue:
             waiter = self._queue.popleft()
             if waiter.event.triggered:
@@ -216,6 +250,8 @@ class Lock:
         self._last_holder = self.held_by if self.held_by is not None else self._last_holder
         self.held_by = owner
         self.held_since = self.sim.now
+        if Lock.hb_hook is not None:
+            Lock.hb_hook("grant", self, owner)
 
     @staticmethod
     def _describe(owner: Any) -> str:

@@ -30,6 +30,16 @@ class SST:
     for the duration of a view). ``node`` is the local RDMA endpoint.
     """
 
+    #: Happens-before tracker hooks (repro.analysis.lint.hb).
+    #: ``hb_hook(sst, col, spec)`` fires after every :meth:`set` — the
+    #: SST write point is where cross-thread races on shared protocol
+    #: state become visible.  ``hb_read_hook(sst, owner)`` fires on
+    #: reads of *peer* rows: a monotonic read of remotely-pushed state
+    #: is the SST's synchronization mechanism (§2.2), so the reader
+    #: joins the clock the remote writer parked on the row replica.
+    hb_hook = None
+    hb_read_hook = None
+
     def __init__(
         self,
         layout: SSTLayout,
@@ -79,6 +89,8 @@ class SST:
     def read(self, owner: int, col: int) -> Any:
         """Read a cell of any row from the local copy (always safe: cells
         are written atomically)."""
+        if SST.hb_read_hook is not None and owner != self.node_id:
+            SST.hb_read_hook(self, owner)
         return self.rows[owner].read(col)
 
     def read_own(self, col: int) -> Any:
@@ -87,8 +99,11 @@ class SST:
 
     def column(self, col: int, owners: Optional[Iterable[int]] = None) -> List[Any]:
         """Read one column across rows (defaults to all members)."""
-        if owners is None:
-            owners = self.members
+        owners = self.members if owners is None else list(owners)
+        if SST.hb_read_hook is not None:
+            for o in owners:
+                if o != self.node_id:
+                    SST.hb_read_hook(self, o)
         return [self.rows[o].read(col) for o in owners]
 
     # ---------------------------------------------------------------- writes
@@ -115,6 +130,8 @@ class SST:
         # This is THE monotonic write point the lint pass funnels
         # everyone through; the raw write below is the one sanctioned use.
         row.write_local(col, value)  # spindle-lint: allow[sst-monotonic-write]
+        if SST.hb_hook is not None:
+            SST.hb_hook(self, col, spec)
 
     # ----------------------------------------------------------------- push
 

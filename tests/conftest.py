@@ -4,6 +4,11 @@
 sanitizer active: every SST/NIC created anywhere is watched for §3.4
 lock-discipline and §2.2 monotonicity violations, which fail the test
 that caused them (docs/LINT.md).
+
+``SPINDLE_HB=1`` additionally runs the vector-clock happens-before
+tracker (docs/CHECK.md): every SST write anywhere is checked for
+write-write races against the simulated schedule, and a test that
+produces an unexplained race fails at teardown.
 """
 
 import os
@@ -30,7 +35,41 @@ def spindle_sanitizer():
         disable_global()
 
 
+@pytest.fixture(scope="session", autouse=True)
+def spindle_hb_session():
+    """Session-wide happens-before tracker, gated on SPINDLE_HB=1."""
+    if not _truthy(os.environ.get("SPINDLE_HB")):
+        yield None
+        return
+    from repro.analysis.lint.hb import disable_hb, enable_hb
+
+    tracker = enable_hb(strict=False)
+    try:
+        yield tracker
+    finally:
+        disable_hb()
+
+
+@pytest.fixture(autouse=True)
+def spindle_hb(spindle_hb_session):
+    """Per-test race accounting: fail the test that raced, then reset
+    the tracker so the next test starts from a clean partial order."""
+    if spindle_hb_session is None:
+        yield None
+        return
+    yield spindle_hb_session
+    races = spindle_hb_session.unexplained_races()
+    report = spindle_hb_session.report()
+    spindle_hb_session.reset()
+    if races:
+        pytest.fail(f"happens-before tracker found unexplained "
+                    f"race(s):\n{report}")
+
+
 def pytest_report_header(config):
+    parts = []
     if _truthy(os.environ.get("SPINDLE_SANITIZE")):
-        return "spindle: runtime sanitizer ACTIVE (SPINDLE_SANITIZE=1)"
-    return None
+        parts.append("spindle: runtime sanitizer ACTIVE (SPINDLE_SANITIZE=1)")
+    if _truthy(os.environ.get("SPINDLE_HB")):
+        parts.append("spindle: happens-before tracker ACTIVE (SPINDLE_HB=1)")
+    return parts or None
