@@ -27,7 +27,8 @@ from __future__ import annotations
 import struct
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
-from ..core.multicast import Delivery, SubgroupMulticast
+from ..core.multicast import Delivery
+from ..ordering.base import OrderingEndpoint
 from ..sim.sync import Event
 
 __all__ = ["KvCommand", "KvNode", "attach_store",
@@ -81,7 +82,7 @@ class KvNode:
         value = store.read(b"altitude")                   # local, fast
     """
 
-    def __init__(self, mc: SubgroupMulticast):
+    def __init__(self, mc: OrderingEndpoint):
         if mc.delivery_mode != "atomic":
             raise ValueError("the KV store requires atomic delivery")
         self.mc = mc
@@ -95,6 +96,11 @@ class KvNode:
         self.apply_log: List[Tuple[int, int, bytes]] = []
         self._fence_waiters: Dict[Tuple[int, int], Event] = {}
         self._write_waiters: Dict[Tuple[int, int], Event] = {}
+        #: Per-sender-rank count of deliveries applied so far: the k-th
+        #: delivery from rank r carries r's propose ticket k (FIFO +
+        #: exactly-once, docs/ORDERING.md), so this is all that is
+        #: needed to match waiters to deliveries on *any* backend.
+        self._applied_from: Dict[int, int] = {}
 
     # ---------------------------------------------------------- replication
 
@@ -124,7 +130,7 @@ class KvNode:
             raise ValueError(f"unknown KV op {op}")
         self.applied += 1
         self.apply_log.append((delivery.seq, op, key))
-        token = (delivery.sender_rank, delivery.seq)
+        token = self._next_token(delivery)
         waiter = self._write_waiters.pop(token, None)
         if waiter is not None:
             waiter.trigger(outcome)
@@ -132,20 +138,23 @@ class KvNode:
         if fence is not None:
             fence.trigger(None)
 
+    def _next_token(self, delivery: Delivery) -> Tuple[int, int]:
+        """Consume one delivery from its sender's FIFO: the waiter token
+        is ``(sender_rank, ticket)``, counted locally."""
+        ticket = self._applied_from.get(delivery.sender_rank, 0)
+        self._applied_from[delivery.sender_rank] = ticket + 1
+        return (delivery.sender_rank, ticket)
+
     # ------------------------------------------------------------- mutations
 
     def _submit(self, payload: bytes, waiters: Dict) -> Generator:
-        """Multicast a command and wait for its local delivery."""
+        """Propose a command to the total order and wait for its local
+        delivery (backend-agnostic: the propose ticket names it)."""
         if self.mc.my_rank is None:
             raise RuntimeError(f"node {self.node_id} is a read-only replica")
-        yield from self.mc.claim_slot()
-        yield self.mc.timing.message_construct
-        # Queue under the lock; the round assigned determines our seq.
-        real_index = yield from self.mc.queue_message(len(payload), payload)
-        # Find the seq assigned to our message (it is the last queued).
-        seq = self.mc.own_inflight[-1][1]
-        event = Event(self.mc.sim, name=f"kv-wait-{seq}")
-        waiters[(self.mc.my_rank, seq)] = event
+        ticket = yield from self.mc.propose(len(payload), payload)
+        event = Event(self.mc.sim, name=f"kv-wait-{ticket}")
+        waiters[(self.mc.my_rank, ticket)] = event
         outcome = yield event
         return outcome
 
@@ -240,17 +249,19 @@ class KvNode:
             raise ValueError(f"unknown KV op {op}")
         self.recovered += 1
 
-    def rebind(self, mc: SubgroupMulticast) -> None:
-        """Re-attach this replica to a new epoch's multicast endpoint
+    def rebind(self, mc: OrderingEndpoint) -> None:
+        """Re-attach this replica to a new epoch's ordering endpoint
         (view change / rejoin). State carries over; in-flight waiters
-        are cleared — their epoch died, and sequence numbers reset, so a
-        stale waiter could otherwise capture a new message's token."""
+        and the per-sender ticket counters are cleared — their epoch
+        died, and ticket numbering restarts, so a stale waiter could
+        otherwise capture a new message's token."""
         if mc.delivery_mode != "atomic":
             raise ValueError("the KV store requires atomic delivery")
         self.mc = mc
         self.node_id = mc.node_id
         self._write_waiters.clear()
         self._fence_waiters.clear()
+        self._applied_from.clear()
 
 
 def attach_store(group_node, subgroup_id: int) -> KvNode:

@@ -54,6 +54,7 @@ def cmd_single(args) -> int:
     result = single_subgroup(
         args.nodes, args.pattern, CONFIGS[args.config](),
         message_size=args.size, count=args.count, window=args.window,
+        backend=args.backend,
     )
     print(format_table(["metric", "value"], _result_rows(result)))
     return 0
@@ -592,6 +593,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("single", help="single-subgroup experiment (§4.1)")
+    p.add_argument("--backend", choices=["spindle", "paxos"],
+                   default="spindle",
+                   help="ordering protocol (docs/ORDERING.md)")
     _add_common(p)
     p.add_argument("--pattern", choices=["all", "half", "one"], default="all")
     p.set_defaults(fn=cmd_single)

@@ -214,6 +214,20 @@ class GroupNode:
         if self.membership is not None:
             self.membership.stop()
 
+    def protocol_processes(self, scope: str = "node") -> list:
+        """Live protocol threads, for fault-plane stalls: the predicate
+        thread, plus (scope="node") the failure detector's sender. The
+        backend-generic accessor the fault plane uses instead of
+        reaching into ``thread._process`` (docs/FAULTS.md)."""
+        procs = []
+        if self.thread._process is not None and self.thread._process.alive:
+            procs.append(self.thread._process)
+        if scope == "node" and self.membership is not None:
+            detector = getattr(self.membership, "_detector_proc", None)
+            if detector is not None and detector.alive:
+                procs.append(detector)
+        return procs
+
     def teardown(self) -> None:
         """Deregister this view's memory (epoch end). In-flight writes
         to the old regions are dropped, as on real hardware."""

@@ -52,6 +52,7 @@ from ..metrics.stages import (
     STAGE_RECEIVE_PREDICATE,
     STAGE_SEND_PREDICATE,
 )
+from ..ordering.base import OrderingEndpoint
 from ..predicates.framework import Predicate, PredicateThread
 from ..sim.engine import Simulator
 from ..sim.sync import Doorbell
@@ -83,8 +84,17 @@ class Delivery:
                 f"from={self.sender} {self.size}B>")
 
 
-class SubgroupMulticast:
-    """One node's atomic multicast endpoint in one subgroup."""
+class SubgroupMulticast(OrderingEndpoint):
+    """One node's atomic multicast endpoint in one subgroup.
+
+    The Spindle implementation of the
+    :class:`~repro.ordering.base.OrderingEndpoint` contract
+    (docs/ORDERING.md): :meth:`propose` is :meth:`send`, the stable
+    prefix is the min received column, and congestion is ring-window
+    occupancy."""
+
+    has_send_window = True
+    view_synchronous = True
 
     def __init__(
         self,
@@ -182,8 +192,13 @@ class SubgroupMulticast:
 
         A generator for the application's sender thread to ``yield
         from``. Returns the message's ``real_index``. Blocks (in
-        simulated time) while the ring window is full.
+        simulated time) while the ring window is full. Raises
+        ``RuntimeError`` at first resumption once wedged (the
+        conformance contract; a wedge mid-wait still raises from
+        :meth:`queue_message`).
         """
+        if self.wedged:
+            raise RuntimeError("subgroup is wedged (view change in progress)")
         yield from self.claim_slot()
         cost = self.timing.message_construct
         if self.config.copy_on_send:
@@ -191,6 +206,12 @@ class SubgroupMulticast:
         yield cost
         real_index = yield from self.queue_message(size, payload)
         return real_index
+
+    #: Backend-generic alias: the returned ``real_index`` is this
+    #: sender's 0-based ticket, as :meth:`OrderingEndpoint.propose`
+    #: requires (round-robin order delivers each sender's reals in
+    #: real_index order, exactly once).
+    propose = send
 
     def claim_slot(self) -> Generator[Any, Any, int]:
         """Wait until the ring slot for the next message is reusable.
@@ -407,6 +428,17 @@ class SubgroupMulticast:
         """
         self._reap_acked()
         return len(self.own_inflight)
+
+    def stable_prefix(self) -> int:
+        """Backend-generic name for :meth:`stable_seq`."""
+        return self.stable_seq()
+
+    def congestion(self) -> float:
+        """See :meth:`OrderingEndpoint.congestion`: ring occupancy,
+        pinned to 1.0 while wedged."""
+        if self.wedged:
+            return 1.0
+        return min(1.0, self.window_in_use() / self.window)
 
 
 # ==========================================================================

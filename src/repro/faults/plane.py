@@ -330,14 +330,7 @@ class FaultPlane:
         group = self.cluster.groups.get(node)
         if group is None:
             return
-        procs = []
-        thread_proc = group.thread._process
-        if thread_proc is not None and thread_proc.alive:
-            procs.append(thread_proc)
-        if scope == "node" and group.membership is not None:
-            detector = group.membership._detector_proc
-            if detector is not None and detector.alive:
-                procs.append(detector)
+        procs = group.protocol_processes(scope)
         if not procs:
             return
         for proc in procs:

@@ -558,6 +558,145 @@ def scenario_mid_transfer_source_crash(seed: int) -> ScenarioResult:
 
 
 # ===========================================================================
+# Multi-Paxos backend scenarios (docs/ORDERING.md)
+# ===========================================================================
+
+
+class _PaxosHarness(_Harness):
+    """Scenario scaffolding for ``Cluster(backend="paxos")``.
+
+    No membership plane (the backend masks failures internally via
+    leader change), so views stay empty; a restarted node re-learns the
+    whole log from instance 0, so its delivery log is reset at the
+    restart event — the recorded log is then the post-recovery replay,
+    comparable entry-for-entry with the survivors'.
+    """
+
+    def __init__(self, num_nodes: int, seed: int, *, count: int,
+                 senders: Optional[List[int]] = None, size: int = 512,
+                 window: int = 8, send_gap: float = 0.0):
+        from ..analysis.trace import Tracer
+        from ..core.config import SpindleConfig
+        from ..workloads import Cluster, continuous_sender
+
+        self.cluster = Cluster(num_nodes=num_nodes,
+                               config=SpindleConfig.optimized(), seed=seed,
+                               backend="paxos")
+        sender_ids = senders if senders is not None else self.cluster.node_ids
+        self.cluster.add_subgroup(senders=sender_ids, message_size=size,
+                                  window=window)
+        self.cluster.build()
+        self.logs: Dict[int, List[tuple]] = {
+            nid: [] for nid in self.cluster.node_ids}
+        self.views: Dict[int, List[Tuple[int, ...]]] = {
+            nid: [] for nid in self.cluster.node_ids}
+        for nid in self.cluster.node_ids:
+            self.cluster.group(nid).on_delivery(
+                0, lambda d, nid=nid: self.logs[nid].append(
+                    (d.seq, d.sender, d.size)))
+        self.cluster.faults.on_restart.append(
+            lambda node: self.logs[node].clear())
+        self.tracer = Tracer(self.cluster)
+        self.tracer.attach()
+        for nid in sender_ids:
+            self.cluster.spawn_sender(continuous_sender(
+                self.cluster.mc(nid, 0), count=count, size=size,
+                delay=send_gap))
+        self.count = count
+        self.size = size
+        self.senders = list(sender_ids)
+
+    def run(self, until: float) -> None:
+        """Drive the run, then stop the standing timers (heartbeats
+        never quiesce) and drain the event queue."""
+        self.cluster.run(until=until)
+        self.cluster.stop()
+        self.cluster.run(until=until + ms(1))
+
+    def leader_changes(self, observer: int) -> int:
+        return self.cluster.mc(observer, 0).leader_changes
+
+
+def scenario_paxos_leader_crash(seed: int) -> ScenarioResult:
+    """Crash the Multi-Paxos leader (member 0, ballot 0) mid-stream: a
+    follower's lease expires, it wins phase 1 with a higher ballot of
+    its residue class, re-proposes the in-flight tail, and the
+    survivors converge on identical gap-free logs — no membership
+    plane, no view change: the quorum masks the failure."""
+    h = _PaxosHarness(4, seed, count=30, senders=[1, 2, 3],
+                      send_gap=us(50))
+    h.cluster.faults.crash(0, at=ms(1))
+    h.run(until=ms(40))
+    problems: List[str] = []
+    h.check_all_delivered(problems, nodes=[1, 2, 3],
+                          expected=30 * 3)
+    h.check_logs_identical(problems, [1, 2, 3])
+    if h.cluster.faults.crashes != 1:
+        problems.append("crash event did not fire")
+    changes = h.leader_changes(1)
+    if changes < 1:
+        problems.append("no leader election happened despite the crash")
+    new_leader = h.cluster.mc(1, 0).leader_member_rank()
+    if new_leader == 0:
+        problems.append("survivors still believe the crashed leader")
+    notes = [f"leader changes at node 1: {changes}, "
+             f"new leader member rank: {new_leader}"]
+    return h.result("paxos-leader-crash", seed, problems, notes)
+
+
+def scenario_paxos_partition_heal(seed: int) -> ScenarioResult:
+    """Symmetric partition that splits the group into two minorities
+    ({0,1} | {2,3}: neither holds a majority of 3): commits stall on
+    both sides — consistency over availability — buffered writes
+    redeliver at heal, client retransmits and (possibly dueling)
+    elections resolve, and every node ends with the identical complete
+    log."""
+    h = _PaxosHarness(4, seed, count=25, send_gap=us(40))
+    h.cluster.faults.partition([[0, 1], [2, 3]],
+                               at=ms(1), heal_at=ms(4), mode="buffer")
+    h.run(until=ms(60))
+    problems: List[str] = []
+    h.check_all_delivered(problems, expected=25 * 4)
+    h.check_logs_identical(problems, list(h.cluster.node_ids))
+    if h.cluster.faults.heals != 1:
+        problems.append("partition never healed")
+    if h.cluster.faults.writes_redelivered == 0:
+        problems.append("no writes were buffered across the cut")
+    notes = [f"writes redelivered: {h.cluster.faults.writes_redelivered}",
+             f"leader changes at node 0: {h.leader_changes(0)}"]
+    return h.result("paxos-partition-heal", seed, problems, notes)
+
+
+def scenario_paxos_crash_restart_rejoin(seed: int) -> ScenarioResult:
+    """Crash the leader, then power it back on: the survivors elect a
+    new leader and keep committing; the restarted node comes back as a
+    fresh-incarnation follower, learns the chosen log from instance 0
+    (LEARN_REQ catch-up — no recovery coordinator involved), and
+    replays it to an entry-for-entry copy of the survivors' logs."""
+    h = _PaxosHarness(4, seed, count=30, senders=[1, 2, 3],
+                      send_gap=us(50))
+    h.cluster.faults.crash(0, at=ms(1), restart_at=ms(8))
+    h.run(until=ms(60))
+    problems: List[str] = []
+    h.check_all_delivered(problems, expected=30 * 3)
+    h.check_logs_identical(problems, list(h.cluster.node_ids))
+    counters = h.cluster.faults.counters()
+    if counters["restarts"] != 1:
+        problems.append("restart event did not fire")
+    if h.leader_changes(1) < 1:
+        problems.append("no leader election happened despite the crash")
+    if h.cluster.mc(0, 0).is_leader:
+        problems.append("restarted node reclaimed leadership (it must "
+                        "rejoin as a follower)")
+    if h.cluster.mc(0, 0).incarnation != 1:
+        problems.append(f"restarted node's incarnation is "
+                        f"{h.cluster.mc(0, 0).incarnation}, expected 1")
+    notes = [f"restarted node caught up {len(h.logs[0])} entries, "
+             f"commit watermark {h.cluster.mc(0, 0).commit_upto}"]
+    return h.result("paxos-crash-restart-rejoin", seed, problems, notes)
+
+
+# ===========================================================================
 # Sharded service plane scenarios (docs/SHARDING.md)
 # ===========================================================================
 
@@ -852,6 +991,9 @@ SCENARIOS: Dict[str, Callable[[int], ScenarioResult]] = {
     "crash-restart": scenario_crash_restart,
     "crash-restart-rejoin": scenario_crash_restart_rejoin,
     "mid-transfer-source-crash": scenario_mid_transfer_source_crash,
+    "paxos-leader-crash": scenario_paxos_leader_crash,
+    "paxos-partition-heal": scenario_paxos_partition_heal,
+    "paxos-crash-restart-rejoin": scenario_paxos_crash_restart_rejoin,
     "shard-failover": scenario_shard_failover,
     "rebalance-under-load": scenario_rebalance_under_load,
 }

@@ -12,10 +12,12 @@ The router:
   replica (so a shard's requests retain the subgroup's total order);
 * applies **admission control**: a request is rejected with a
   ``retry_after`` hint when the shard's queue is full, or when the
-  hosting subgroup's send window is saturated — the congestion signal
-  is :meth:`SubgroupMulticast.window_in_use`, i.e. the SST stability
-  counters (slots stay occupied exactly until the slowest member's
-  delivered/received column passes them, §2.3). Without this, open-loop
+  hosting subgroup's sender pipeline is saturated — the congestion
+  signal is the backend-generic
+  :meth:`~repro.ordering.base.OrderingEndpoint.congestion` (on Spindle:
+  the SST stability counters, since slots stay occupied exactly until
+  the slowest member's delivered/received column passes them, §2.3; on
+  Paxos: the in-flight proposal fraction). Without this, open-loop
   overload collapses into unbounded queueing; with it, clients see
   honest ``rejected`` outcomes and back off;
 * survives **view changes**: at the epoch boundary every worker is
@@ -58,9 +60,9 @@ class RouterConfig:
     workers_per_shard: int = 2
     #: Retry-after hint handed to rejected clients.
     retry_after: float = us(100.0)
-    #: Reject new work when window_in_use/window reaches this fraction
-    #: (1.0 = only reject when a send would actually block on the SST
-    #: stability counters).
+    #: Reject new work when the gateway endpoint's congestion() reaches
+    #: this fraction (1.0 = only reject when the next propose would
+    #: actually block).
     congestion_threshold: float = 1.0
     #: Client-side resubmission budget in :meth:`ShardRouter.request`.
     max_retries: int = 50
@@ -247,17 +249,17 @@ class ShardRouter:
     # ------------------------------------------------------------ admission
 
     def congestion(self, shard: int) -> float:
-        """window_in_use/window of the hosting subgroup's gateway —
-        the SST-stability-derived saturation fraction in [0, 1]."""
+        """Saturation of the hosting subgroup's gateway in [0, 1], via
+        :meth:`~repro.ordering.base.OrderingEndpoint.congestion` — ring
+        occupancy on Spindle, in-flight proposal count on quorum
+        backends, 1.0 when wedged. The router never reaches into SST
+        internals, so admission control works on any backend."""
         sg = self.map.subgroup_of(shard)
         try:
             node = self.service.gateway(sg)
         except (RuntimeError, KeyError):
             return 1.0
-        mc = self.cluster.groups[node].subgroup(sg)
-        if mc.wedged:
-            return 1.0
-        return mc.window_in_use() / mc.window
+        return self.cluster.groups[node].subgroup(sg).congestion()
 
     def _enqueue(self, state: _RequestState) -> None:
         if not self._started:

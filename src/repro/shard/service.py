@@ -72,7 +72,9 @@ class ShardReplica(KvNode):
         rid, inner = unframe_request(delivery.payload)
         if rid and rid in self.seen_requests:
             self.duplicates_skipped += 1
-            token = (delivery.sender_rank, delivery.seq)
+            # Still consumes one FIFO slot from this sender (the ticket
+            # counter must advance exactly once per delivery).
+            token = self._next_token(delivery)
             waiter = self._write_waiters.pop(token, None)
             if waiter is not None:
                 waiter.trigger("duplicate")

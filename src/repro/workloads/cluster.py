@@ -24,9 +24,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from ..core.config import SpindleConfig, TimingModel
 from ..core.group import GroupNode
 from ..core.membership import SubgroupSpec, View
-from ..core.multicast import SubgroupMulticast
 from ..core.persistence import StorageModel
 from ..metrics.registry import MetricsRegistry, registry_enabled_from_env
+from ..ordering.base import OrderingEndpoint, resolve_backend
 from ..rdma.fabric import RdmaFabric
 from ..rdma.latency import LatencyModel
 from ..recovery.trim import TrimLedger
@@ -39,7 +39,10 @@ class Cluster:
     """A simulated Derecho deployment.
 
     Defaults mirror the paper's testbed: any number of nodes up to the
-    16-machine, 12.5 GB/s cluster used in §4.
+    16-machine, 12.5 GB/s cluster used in §4. ``backend`` selects the
+    ordering protocol — ``"spindle"`` (the paper's SST multicast, the
+    default) or ``"paxos"`` (the Multi-Paxos baseline it is compared
+    against); see docs/ORDERING.md.
     """
 
     def __init__(
@@ -50,10 +53,12 @@ class Cluster:
         latency: Optional[LatencyModel] = None,
         seed: int = 0,
         metrics: Optional[MetricsRegistry] = None,
+        backend=None,
     ):
         if num_nodes < 1:
             raise ValueError("cluster needs at least one node")
         self.seed = seed
+        self.backend = resolve_backend(backend)
         self.sim = Simulator(seed=seed)
         #: The fabric-wide metrics registry (docs/METRICS.md). Pass your
         #: own, or set SPINDLE_METRICS=0 to make every instrument a
@@ -206,6 +211,11 @@ class Cluster:
         See docs/FAULTS.md."""
         if self._built:
             raise RuntimeError("cluster already built")
+        if not self.backend.view_synchronous:
+            raise RuntimeError(
+                f"the {self.backend.name!r} backend is not view-synchronous; "
+                f"it masks failures internally (leader change) rather than "
+                f"through membership view changes — see docs/ORDERING.md")
         self._membership_params = dict(
             heartbeat_period=heartbeat_period,
             suspicion_timeout=suspicion_timeout,
@@ -225,22 +235,9 @@ class Cluster:
         return self
 
     def _install(self, view: View) -> None:
-        """Instantiate GroupNodes for a view and start them."""
-        from ..sst.table import wire_ssts
-
-        self.groups = {}
-        for node_id in view.members:
-            self.groups[node_id] = GroupNode(
-                self.sim,
-                self.fabric,
-                self.fabric.nodes[node_id],
-                view,
-                self.config,
-                self.timing,
-                membership_params=self._membership_params,
-                metrics=self.metrics,
-            )
-        wire_ssts({nid: g.sst for nid, g in self.groups.items()})
+        """Instantiate the backend's group objects for a view and start
+        them (the backend wires its own replicas — SSTs or mailboxes)."""
+        self.groups = self.backend.build_groups(self, view)
         if self.metrics.enabled:
             self._register_fabric_collectors()
         for group in self.groups.values():
@@ -366,6 +363,7 @@ class Cluster:
         node.alive = True
         node.egress_free_at = max(node.egress_free_at, self.sim.now)
         self.dead_nodes.discard(node_id)
+        self.backend.on_node_restart(self, node_id)
 
     def live_nodes(self) -> List[int]:
         """Provisioned nodes whose NIC is up (never address a corpse)."""
@@ -406,10 +404,18 @@ class Cluster:
             cluster.faults.crash(3, at=ms(1), restart_at=ms(6))
         """
         if self._recovery is None:
+            self._require_view_synchrony("the recovery coordinator")
             from ..recovery.coordinator import RecoveryCoordinator
 
             self._recovery = RecoveryCoordinator(self).attach()
         return self._recovery
+
+    def _require_view_synchrony(self, what: str) -> None:
+        if not self.backend.view_synchronous:
+            raise RuntimeError(
+                f"{what} drives wedge/trim/epoch-restart and needs a "
+                f"view-synchronous backend; {self.backend.name!r} recovers "
+                f"internally (docs/ORDERING.md)")
 
     def enable_recovery(self, config=None) -> "RecoveryCoordinator":
         """Create (or reconfigure) the recovery coordinator with an
@@ -418,6 +424,7 @@ class Cluster:
         non-default config is wanted."""
         if self._recovery is not None:
             raise RuntimeError("recovery coordinator already created")
+        self._require_view_synchrony("the recovery coordinator")
         from ..recovery.coordinator import RecoveryCoordinator
 
         self._recovery = RecoveryCoordinator(self, config).attach()
@@ -487,8 +494,8 @@ class Cluster:
     def group(self, node_id: int) -> GroupNode:
         return self.groups[node_id]
 
-    def mc(self, node_id: int, subgroup_id: int) -> SubgroupMulticast:
-        """The multicast endpoint of a node in a subgroup."""
+    def mc(self, node_id: int, subgroup_id: int) -> OrderingEndpoint:
+        """The ordering endpoint of a node in a subgroup."""
         return self.groups[node_id].subgroup(subgroup_id)
 
     def members_of(self, subgroup_id: int) -> Sequence[int]:

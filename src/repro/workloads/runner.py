@@ -24,6 +24,7 @@ from .generators import continuous_sender, limited_sender
 __all__ = [
     "ExperimentResult",
     "sender_set",
+    "drive_to_completion",
     "single_subgroup",
     "multi_subgroup",
     "delayed_senders",
@@ -92,20 +93,54 @@ def _collect(cluster: Cluster, subgroup_id: int, expected: int,
     duration = stats0.last_delivery_time or sim_time
     for nid in spec.senders:
         wait = max(wait, cluster.group(nid).stats(subgroup_id).sender_wait_time)
+    # Predicate-thread timers exist only on the SST backend; quorum
+    # backends report zero (their CPU story is per-message handlers).
+    thread = getattr(group0, "thread", None)
     return ExperimentResult(
         throughput=sum(per_node.values()) / len(per_node),
         latency=cluster.mean_latency(subgroup_id),
         delivered_per_node=stats0.delivered,
         duration=duration,
         rdma_writes=cluster.fabric.total_writes_posted(),
-        post_time=group0.thread.post_time,
-        busy_time=group0.thread.busy_time,
+        post_time=thread.post_time if thread is not None else 0.0,
+        busy_time=thread.busy_time if thread is not None else 0.0,
         sender_wait_fraction=(wait / duration if duration else 0.0),
         mean_batches=stats0.mean_batches,
         nulls_sent=sum(cluster.group(nid).stats(subgroup_id).nulls_sent
                        for nid in spec.members),
         per_node_throughput=per_node,
     )
+
+
+def drive_to_completion(cluster: Cluster, expectations: Dict[int, int],
+                        max_time: float) -> None:
+    """Run a cluster until its workload completes.
+
+    ``expectations`` maps subgroup id -> total deliveries wanted (per
+    sender count x senders x members). Backends whose protocol goes
+    idle at workload end (Spindle) run to quiescence; backends with
+    standing timers (Paxos heartbeats never stop) are polled in slices
+    and stopped once every expectation is met. Raises if ``max_time``
+    simulated seconds pass first.
+    """
+    if cluster.backend.quiesces:
+        cluster.run_to_quiescence(max_time=max_time)
+        return
+    deadline = cluster.sim.now + max_time
+    step = max_time / 256.0
+
+    def done() -> bool:
+        return all(cluster.total_delivered(sg) >= want
+                   for sg, want in expectations.items())
+
+    while not done():
+        if cluster.sim.now >= deadline:
+            raise RuntimeError(
+                f"workload incomplete at {deadline}s: "
+                f"{ {sg: cluster.total_delivered(sg) for sg in expectations} }"
+                f" of {expectations}")
+        cluster.run(until=min(deadline, cluster.sim.now + step))
+    cluster.stop()
 
 
 def single_subgroup(
@@ -119,11 +154,15 @@ def single_subgroup(
     latency_model: Optional[LatencyModel] = None,
     max_time: float = 60.0,
     seed: int = 0,
+    backend=None,
 ) -> ExperimentResult:
-    """§4.1.1: one subgroup over all nodes, continuous senders."""
+    """§4.1.1: one subgroup over all nodes, continuous senders.
+
+    ``backend`` selects the ordering protocol (``"spindle"`` default,
+    ``"paxos"`` for the baseline comparison — docs/ORDERING.md)."""
     config = config if config is not None else SpindleConfig.optimized()
     cluster = Cluster(n, config=config, timing=timing, latency=latency_model,
-                      seed=seed)
+                      seed=seed, backend=backend)
     senders = sender_set(n, pattern)
     cluster.add_subgroup(senders=senders, window=window,
                          message_size=message_size)
@@ -131,7 +170,8 @@ def single_subgroup(
     for nid in senders:
         cluster.spawn_sender(continuous_sender(
             cluster.mc(nid, 0), count=count, size=message_size))
-    cluster.run_to_quiescence(max_time=max_time)
+    drive_to_completion(cluster, {0: count * len(senders) * n},
+                        max_time=max_time)
     cluster.assert_all_delivered(0, per_sender=count)
     return _collect(cluster, 0, count * len(senders), cluster.sim.now)
 

@@ -8,6 +8,8 @@ fingerprint (sha256 over every protocol event, timestamps included), the
 drop accounting, and the fault-plane counters — and replaying through a
 JSON round-trip of the schedule must change none of it."""
 
+import pytest
+
 from repro.core.config import SpindleConfig
 from repro.faults import FaultSchedule
 from repro.faults.scenarios import SCENARIOS, run_scenario
@@ -40,13 +42,22 @@ class TestScenarioDeterminism:
         assert schedule.events[0].kind == "partition"
 
 
-def chaotic_run(schedule_json=None, seed=11):
-    """One cluster run with a mixed fault diet; returns its fingerprints."""
-    cluster = Cluster(4, config=SpindleConfig.optimized(), seed=seed)
+def chaotic_run(schedule_json=None, seed=11, backend="spindle"):
+    """One cluster run with a mixed fault diet; returns its fingerprints.
+
+    The fault diet (jitter, buffer-partition, stall) is backend-generic:
+    it reaches the protocols through the fabric and through
+    ``protocol_processes``, not through any Spindle internals. Only the
+    membership plane is Spindle-specific (Paxos handles failures
+    internally), so it is enabled for the spindle run alone.
+    """
+    cluster = Cluster(4, config=SpindleConfig.optimized(), seed=seed,
+                      backend=backend)
     cluster.add_subgroup(message_size=512, window=8)
-    cluster.enable_membership(heartbeat_period=us(100),
-                              suspicion_timeout=us(500),
-                              confirmation_grace=us(700))
+    if cluster.backend.view_synchronous:
+        cluster.enable_membership(heartbeat_period=us(100),
+                                  suspicion_timeout=us(500),
+                                  confirmation_grace=us(700))
     cluster.build()
     logs = {nid: [] for nid in cluster.node_ids}
     for nid in cluster.node_ids:
@@ -70,21 +81,35 @@ def chaotic_run(schedule_json=None, seed=11):
             cluster.faults.counters(), cluster.faults.schedule.to_json())
 
 
+@pytest.mark.parametrize("backend", ["spindle", "paxos"])
 class TestScheduleReplay:
-    def test_imperative_run_equals_json_replay(self):
+    def test_imperative_run_equals_json_replay(self, backend):
         """Faults injected by hand, serialized, then replayed from JSON
-        give the identical run — logs, trace, drops, counters."""
-        logs1, fp1, drops1, counters1, schedule_json = chaotic_run()
+        give the identical run — logs, trace, drops, counters — on
+        every ordering backend."""
+        logs1, fp1, drops1, counters1, schedule_json = chaotic_run(
+            backend=backend)
         logs2, fp2, drops2, counters2, round_trip = chaotic_run(
-            schedule_json=schedule_json)
+            schedule_json=schedule_json, backend=backend)
         assert logs2 == logs1
         assert fp2 == fp1
         assert drops2 == drops1
         assert counters2 == counters1
         assert round_trip == schedule_json
 
-    def test_repeated_json_replay_is_stable(self):
-        _, fp_a, _, _, schedule_json = chaotic_run()
-        _, fp_b, _, _, _ = chaotic_run(schedule_json=schedule_json)
-        _, fp_c, _, _, _ = chaotic_run(schedule_json=schedule_json)
+    def test_repeated_json_replay_is_stable(self, backend):
+        _, fp_a, _, _, schedule_json = chaotic_run(backend=backend)
+        _, fp_b, _, _, _ = chaotic_run(schedule_json=schedule_json,
+                                       backend=backend)
+        _, fp_c, _, _, _ = chaotic_run(schedule_json=schedule_json,
+                                       backend=backend)
         assert fp_a == fp_b == fp_c
+
+    def test_backends_diverge_under_the_same_schedule(self, backend):
+        """The parametrization is not vacuous: the two protocols trace
+        differently under the identical fault schedule."""
+        if backend != "spindle":
+            pytest.skip("cross-backend check runs once")
+        _, fp_spindle, _, _, schedule_json = chaotic_run(backend="spindle")
+        _, fp_paxos, _, _, _ = chaotic_run(backend="paxos")
+        assert fp_spindle != fp_paxos
