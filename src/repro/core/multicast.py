@@ -54,7 +54,7 @@ from ..metrics.stages import (
 )
 from ..ordering.base import OrderingEndpoint
 from ..predicates.framework import Predicate, PredicateThread
-from ..sim.engine import Simulator
+from ..sim.engine import AtTime, Simulator
 from ..sim.sync import Doorbell
 from ..smc.multicast import SMC, SubgroupColumns
 from ..smc.ring import SlotValue, contiguous_seq, seq_of
@@ -161,6 +161,11 @@ class SubgroupMulticast(OrderingEndpoint):
         self.pending: List[Deque[SlotValue]] = [deque() for _ in range(self.S)]
         self.received_seq = -1
         self.delivered_seq = -1
+        #: Bumped whenever the receive trigger mutates its scan state
+        #: (reals_received / nulls_seen) — part of the receive
+        #: predicate's memoization token, covering the inputs that can
+        #: change without any SST row being written.
+        self.recv_generation = 0
 
         # -- predicates ---------------------------------------------------------
         self.send_predicate = _SendPredicate(self)
@@ -248,10 +253,36 @@ class SubgroupMulticast(OrderingEndpoint):
         if self.wedged:
             raise RuntimeError("subgroup is wedged (view change in progress)")
         timing = self.timing
-        yield self.thread.lock.acquire()
+        thread = self.thread
+        if thread.fastpath and thread.lock.acquire_nowait():
+            # Folded fast path (optimized engine): same grant instant,
+            # same body instant t_a = now + lock_op, same release instant
+            # t_c = (t_a + send_queue_cost) + lock_op — in two scheduler
+            # turns instead of four (see docs/ENGINE.md).
+            t_a = self.sim.now + timing.lock_op
+            yield AtTime(t_a)
+            real_index = self._queue_message_body(size, payload)
+            yield AtTime((t_a + timing.send_queue_cost) + timing.lock_op)
+            thread.lock.release()
+            thread.doorbell.ring()
+            return real_index
+        yield thread.lock.acquire()
         yield timing.lock_op
+        real_index = self._queue_message_body(size, payload)
+        yield timing.send_queue_cost
+        yield timing.lock_op
+        thread.lock.release()
+        thread.doorbell.ring()
+        return real_index
+
+    def _queue_message_body(self, size: int, payload: Optional[bytes]) -> int:
+        """The under-lock slot assignment (shared by both lock paths).
+
+        Both callers hold ``thread.lock``; the fast path acquires it
+        via ``acquire_nowait``, which the static lockset pass does not
+        model as an acquire."""
         round_index = self.next_round
-        self.next_round += 1
+        self.next_round += 1  # spindle-lint: allow[lockset-unprotected-write]
         real_index = self.reals_queued
         self.reals_queued += 1
         slot = SlotValue(real_index, round_index, size, payload, self.sim.now)
@@ -260,10 +291,6 @@ class SubgroupMulticast(OrderingEndpoint):
             (real_index, seq_of(round_index, self.my_rank, self.S))
         )
         self.stats.record_send(self.sim.now)
-        yield timing.send_queue_cost
-        yield timing.lock_op
-        self.thread.lock.release()
-        self.thread.doorbell.ring()
         return real_index
 
     def declare_inactive(self, rounds: int) -> Generator[Any, Any, None]:
@@ -469,6 +496,15 @@ class _SendPredicate(Predicate):
             return cost, 0  # ablation: wait to accumulate a full batch
         return cost, queued
 
+    def generation(self):
+        # Every evaluate() input: the queued/pushed counters plus the
+        # wedge and end-of-workload flags (fixed_send_batch is a
+        # constant). The cost is a constant too, so token equality
+        # implies an identical (cost, value) pair.
+        mc = self.mc
+        return (mc.reals_queued, mc.reals_pushed, mc.wedged,
+                mc.finished_sending)
+
     def trigger(self, queued: int):
         mc = self.mc
         count = queued if mc.config.batch_send else 1
@@ -504,6 +540,7 @@ class _ReceivePredicate(Predicate):
         self.mc = mc
         self.name = f"sg{mc.subgroup_id}.receive"
         self.subgroup = mc.subgroup_id
+        self._sender_rows = [mc.sst.rows[s] for s in mc.senders]
 
     def evaluate(self):
         mc = self.mc
@@ -515,8 +552,20 @@ class _ReceivePredicate(Predicate):
                 return cost, True
         return cost, False
 
+    def generation(self):
+        # evaluate() reads the senders' SST rows (slots + null counters)
+        # and the own scan cursors. Row versions are strictly increasing
+        # per write, so their sum changes whenever any watched cell can
+        # have changed; recv_generation covers the cursors, which move
+        # only in this predicate's own trigger.
+        version_sum = 0
+        for row in self._sender_rows:
+            version_sum += row.version
+        return (version_sum, self.mc.recv_generation)
+
     def trigger(self, _value):
         mc = self.mc
+        mc.recv_generation += 1
         timing = mc.timing
         unordered = mc.delivery_mode == "unordered"
         yield timing.trigger_base
@@ -628,6 +677,7 @@ class _DeliveryPredicate(Predicate):
         self.mc = mc
         self.name = f"sg{mc.subgroup_id}.delivery"
         self.subgroup = mc.subgroup_id
+        self._member_rows = [mc.sst.rows[m] for m in mc.members]
 
     def evaluate(self):
         mc = self.mc
@@ -637,6 +687,17 @@ class _DeliveryPredicate(Predicate):
             # Wrapped in a tuple: stable may be 0, which must stay truthy.
             return cost, (stable,)
         return cost, None
+
+    def generation(self):
+        # evaluate() reads the members' received columns plus
+        # delivered_seq; every delivered_seq advance (trigger or
+        # force-deliver) also writes the own delivered column, bumping
+        # the own row's version — so the members' version sum covers
+        # both.
+        version_sum = 0
+        for row in self._member_rows:
+            version_sum += row.version
+        return version_sum
 
     def trigger(self, value):
         (stable,) = value

@@ -33,7 +33,7 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 from ..core.config import SpindleConfig, TimingModel
 from ..metrics.registry import null_registry
 from ..metrics.stages import STAGE_OTHER_PREDICATE, STAGE_SST_POST, STAGE_TIME
-from ..sim.engine import Simulator
+from ..sim.engine import AtTime, Simulator
 from ..sim.sync import Doorbell, Lock
 
 __all__ = ["Predicate", "PredicateThread"]
@@ -60,6 +60,19 @@ class Predicate:
         optional generator of deferred RDMA posts."""
         raise NotImplementedError
 
+    def generation(self) -> Optional[Any]:
+        """Memoization token covering *every* input of :meth:`evaluate`.
+
+        Return a value that is guaranteed to change whenever evaluate()
+        could return a different result — typically a tuple of local
+        counters plus the sum of the watched SST rows' ``version``
+        generation counters (monotone under the §2.2 write discipline).
+        While the token is unchanged, the thread may reuse the last
+        result instead of re-evaluating.  Return None (the default) to
+        disable memoization for this predicate.
+        """
+        return None
+
 
 class PredicateThread:
     """The per-node polling thread plus its shared lock and doorbell."""
@@ -81,8 +94,22 @@ class PredicateThread:
         self.predicates: List[Predicate] = []
         self._running = False
         self._process = None
+        #: True when this thread runs the folded fast path (optimized
+        #: engine): uncontended lock grabs skip the scheduler round-trip
+        #: and falsy passes fold their fixed-cost sleeps into one wake.
+        #: Timestamps and observable state transitions are identical to
+        #: the reference loop either way.
+        self.fastpath = getattr(sim, "engine_mode", "optimized") != "reference"
+        #: Last falsy evaluation per predicate: token -> (cost, value).
+        #: Sound per the §2.2 monotonicity argument in docs/ENGINE.md:
+        #: an unchanged generation token implies an unchanged result.
+        self._memo: Dict[Predicate, Tuple[Any, float, Any]] = {}
         # -- accounting --------------------------------------------------------
         self.iterations = 0
+        #: Predicate passes, and the subset answered from the memo cache
+        #: without calling evaluate() (bench: predicate-eval savings).
+        self.evals_total = 0
+        self.evals_skipped = 0
         self.busy_time = 0.0
         self.idle_time = 0.0
         self.post_time = 0.0
@@ -126,7 +153,8 @@ class PredicateThread:
         if self._process is not None:
             raise RuntimeError("predicate thread already started")
         self._running = True
-        self._process = self.sim.spawn(self._run(), name=self.name)
+        loop = self._run_fast() if self.fastpath else self._run()
+        self._process = self.sim.spawn(loop, name=self.name)
 
     def stop(self) -> None:
         """Ask the loop to exit at its next idle check."""
@@ -156,6 +184,7 @@ class PredicateThread:
                 yield self.lock.acquire()
                 yield timing.lock_op
                 pred_start = self.sim.now
+                self.evals_total += 1
                 cost, value = predicate.evaluate()
                 yield cost
                 if value:
@@ -189,6 +218,136 @@ class PredicateThread:
                 yield self.doorbell.wait()
                 self.idle_time += self.sim.now - idle_start
                 self._idle_gauge.set(self.idle_time)
+
+    def _run_fast(self):
+        """The folded polling loop (optimized engine).
+
+        Produces bit-identical timestamps and state transitions to
+        :meth:`_run` with fewer scheduler turns per pass
+        (docs/ENGINE.md has the full soundness argument):
+
+        * An uncontended pass grabs the lock synchronously
+          (:meth:`Lock.acquire_nowait`) and folds the acquire wake plus
+          the ``lock_op`` sleep into ONE absolute-time wake at
+          ``t_a = pass_start + lock_op`` — exactly the instant the
+          reference loop evaluates at, computed by the same chain of
+          float additions.
+        * The evaluate/memo decision happens AT ``t_a``, never earlier:
+          an SST write landing in ``(pass_start, t_a)`` is visible to
+          this pass, exactly as in the reference loop.
+        * A falsy result folds the ``cost`` sleep and the trailing
+          ``lock_op`` sleep into one wake at ``t_c = (t_a + cost) +
+          lock_op`` (falsy passes mutate nothing and release at
+          ``t_c``, so nobody can observe the difference).
+        * Truthy passes run the trigger body verbatim — trigger
+          mutations must become visible at the reference instants.
+
+        Contended passes (lock already held) fall back to the reference
+        sequence wholesale.
+
+        Note the release at ``t_c`` is real, never folded away: holding
+        the lock across consecutive falsy passes would move the next
+        wake's *scheduling instant* from ``t_c`` back to ``t_a``, and
+        when symmetric float chains on different nodes collide at the
+        same timestamp, the (time, seq) tie-break would then order the
+        colliding turns differently than the reference loop
+        (docs/ENGINE.md, "why falsy runs are not folded further").
+        """
+        timing = self.timing
+        sim = self.sim
+        lock = self.lock
+        lock_op = timing.lock_op
+        while self._running:
+            self.iterations += 1
+            self._iterations_counter.inc()
+            progressed = False
+            iter_start = sim.now
+            for predicate in tuple(self.predicates):
+                pass_start = sim.now
+                post_before = self.post_time
+                if lock.acquire_nowait(self._process):
+                    t_a = pass_start + lock_op
+                    yield AtTime(t_a)
+                    cost, value = self._decide(predicate)
+                    if value:
+                        progressed = True
+                        self._triggers_counter.inc()
+                        yield cost
+                        posts = yield from predicate.trigger(value)
+                        self._account(predicate, sim.now - t_a)
+                        if self.config.early_lock_release:
+                            yield lock_op
+                            lock.release()
+                            if posts is not None:
+                                yield from self._run_posts(posts, "postlock")
+                        else:
+                            if posts is not None:
+                                yield from self._run_posts(posts, "prelock")
+                            yield lock_op
+                            lock.release()
+                    else:
+                        t_c = (t_a + cost) + lock_op
+                        self._account(predicate, (t_a + cost) - t_a)
+                        yield AtTime(t_c)
+                        lock.release()
+                else:
+                    # Contended: reference pass, verbatim.
+                    yield lock.acquire()
+                    yield lock_op
+                    pred_start = sim.now
+                    cost, value = self._decide(predicate)
+                    yield cost
+                    if value:
+                        progressed = True
+                        self._triggers_counter.inc()
+                        posts = yield from predicate.trigger(value)
+                        self._account(predicate, sim.now - pred_start)
+                        if self.config.early_lock_release:
+                            yield lock_op
+                            lock.release()
+                            if posts is not None:
+                                yield from self._run_posts(posts, "postlock")
+                        else:
+                            if posts is not None:
+                                yield from self._run_posts(posts, "prelock")
+                            yield lock_op
+                            lock.release()
+                    else:
+                        self._account(predicate, sim.now - pred_start)
+                        yield lock_op
+                        lock.release()
+                self._profile_stage(
+                    predicate,
+                    (sim.now - pass_start)
+                    - (self.post_time - post_before),
+                )
+            self.busy_time += sim.now - iter_start
+            self._busy_gauge.set(self.busy_time)
+            if not progressed:
+                idle_start = sim.now
+                yield self.doorbell.wait()
+                self.idle_time += sim.now - idle_start
+                self._idle_gauge.set(self.idle_time)
+
+    def _decide(self, predicate: Predicate) -> Tuple[float, Any]:
+        """Memo-or-evaluate at the current instant (the reference eval
+        point): reuse the cached result while the generation token is
+        unchanged, else evaluate and cache falsy results.
+
+        Both callers hold ``self.lock`` here; the fast path acquires it
+        via ``acquire_nowait``, which the static lockset pass does not
+        model as an acquire."""
+        self.evals_total += 1  # spindle-lint: allow[lockset-unprotected-write]
+        token = predicate.generation()
+        if token is not None:
+            entry = self._memo.get(predicate)
+            if entry is not None and entry[0] == token:
+                self.evals_skipped += 1
+                return entry[1], entry[2]
+        cost, value = predicate.evaluate()
+        if token is not None and not value:
+            self._memo[predicate] = (token, cost, value)
+        return cost, value
 
     def _run_posts(self, posts: Generator[float, None, Any],
                    phase: str = "postlock"):

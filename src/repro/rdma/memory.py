@@ -21,8 +21,9 @@ from pinned memory.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
-from typing import Any, List, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 __all__ = ["Region", "ByteRegion", "CellRegion", "WriteSnapshot"]
 
@@ -112,6 +113,18 @@ class ByteRegion(Region):
             )
 
 
+# Per-cell storage class codes (``CellRegion._code``): generic object
+# slot, 64-bit signed integer slot, or flag (integer slot read back as
+# bool).  Typed slots live in one contiguous ``array('q')`` — the SST's
+# counters and flags become flat machine words instead of boxed objects.
+_CELL_OBJ = 0
+_CELL_INT = 1
+_CELL_FLAG = 2
+
+#: cell-kind string -> storage class (kind strings from repro.sst.fields).
+_KIND_CODES = {"counter": _CELL_INT, "flag": _CELL_FLAG}
+
+
 class CellRegion(Region):
     """A region of atomically-written typed cells.
 
@@ -119,61 +132,137 @@ class CellRegion(Region):
     transfer time of writes covering that cell. Values are arbitrary
     Python objects; callers must treat stored values as immutable (store
     tuples/bytes/ints), which the SST layer does.
+
+    ``kinds`` optionally declares per-cell storage: cells whose kind is
+    ``"counter"`` or ``"flag"`` are backed by a slot-indexed ``array('q')``
+    of machine words (flags read back as ``bool``); everything else (and
+    all cells when ``kinds`` is None) lives in a plain object slot. A
+    typed cell handed a value that doesn't fit a signed 64-bit word is
+    transparently demoted to an object slot.
+
+    Every mutation (local write, applied remote write, bulk ``cells``
+    assignment) bumps :attr:`version`, a strictly-increasing generation
+    counter. Predicate memoization builds its invalidation tokens from
+    row versions (docs/ENGINE.md).
     """
 
     kind = "cells"
 
-    def __init__(self, cell_sizes: Sequence[int], name: str = "cell-region"):
+    def __init__(self, cell_sizes: Sequence[int], name: str = "cell-region",
+                 kinds: Optional[Sequence[str]] = None):
         super().__init__(name)
         if not cell_sizes:
             raise ValueError("cell region needs at least one cell")
         if any(s <= 0 for s in cell_sizes):
             raise ValueError("cell sizes must be positive")
         self.cell_sizes: Tuple[int, ...] = tuple(cell_sizes)
-        # Construction-time fill; no peer can observe a fresh region.
-        self.cells: List[Any] = [None] * len(cell_sizes)  # spindle-lint: allow[sst-monotonic-write]
+        n = len(self.cell_sizes)
+        #: Generation counter: bumped on every mutation of the region.
+        self.version = 0
+        code = bytearray(n)
+        if kinds is not None:
+            if len(kinds) != n:
+                raise ValueError("kinds must match cell_sizes in length")
+            for i, k in enumerate(kinds):
+                code[i] = _KIND_CODES.get(k, _CELL_OBJ)
+        self._code = code
+        self._ints = array("q", bytes(8 * n))
+        self._objs: List[Any] = [None] * n
         # Prefix sums let size_of answer in O(1).
         self._prefix = [0]
         for s in self.cell_sizes:
             self._prefix.append(self._prefix[-1] + s)
 
     def __len__(self) -> int:
-        return len(self.cells)
+        return len(self._code)
+
+    @property
+    def cells(self) -> List[Any]:
+        """Materialized list of current cell values (compat view; a
+        fresh list each access — mutate via :meth:`write_local`)."""
+        code = self._code
+        ints = self._ints
+        objs = self._objs
+        return [
+            objs[i] if code[i] == 0 else
+            (ints[i] if code[i] == 1 else bool(ints[i]))
+            for i in range(len(code))
+        ]
+
+    @cells.setter
+    def cells(self, values: Sequence[Any]) -> None:
+        values = list(values)
+        if len(values) != len(self._code):
+            raise ValueError(
+                f"expected {len(self._code)} cell values, got {len(values)}"
+            )
+        self.version += 1
+        for i, v in enumerate(values):
+            self._store(i, v)
 
     @property
     def total_bytes(self) -> int:
         """Total registered byte footprint of the region."""
         return self._prefix[-1]
 
+    def _store(self, index: int, value: Any) -> None:
+        if self._code[index] == 0:
+            self._objs[index] = value
+        else:
+            try:
+                self._ints[index] = value
+            except (TypeError, OverflowError):
+                # Demote: the value doesn't fit a typed machine-word slot.
+                self._code[index] = _CELL_OBJ
+                self._objs[index] = value
+
     def write_local(self, index: int, value: Any) -> None:
         """Local (CPU) write of one cell."""
         self._check(index, 1)
-        self.cells[index] = value  # spindle-lint: allow[sst-monotonic-write]
+        self.version += 1
+        self._store(index, value)  # spindle-lint: allow[sst-monotonic-write]
 
     def read(self, index: int) -> Any:
         """Local (CPU) read of one cell."""
         self._check(index, 1)
-        return self.cells[index]
+        code = self._code[index]
+        if code == 0:
+            return self._objs[index]
+        value = self._ints[index]
+        return value if code == 1 else bool(value)
 
     def snapshot(self, offset: int, length: int) -> WriteSnapshot:
         self._check(offset, length)
-        data = tuple(self.cells[offset : offset + length])
-        return WriteSnapshot(offset, data, self.size_of(offset, length))
+        code = self._code
+        ints = self._ints
+        objs = self._objs
+        data = tuple(
+            objs[i] if code[i] == 0 else
+            (ints[i] if code[i] == 1 else bool(ints[i]))
+            for i in range(offset, offset + length)
+        )
+        return WriteSnapshot(
+            offset, data, self._prefix[offset + length] - self._prefix[offset]
+        )
 
     def apply_write(self, snap: WriteSnapshot) -> None:
         self._check(snap.offset, len(snap.data))
         # Incoming RDMA writes carry peers' rows; monotonicity of those is
         # the *sender's* obligation, enforced at its SST write point.
         # spindle-lint: allow[sst-monotonic-write]
-        self.cells[snap.offset : snap.offset + len(snap.data)] = list(snap.data)
+        self.version += 1
+        i = snap.offset
+        for value in snap.data:
+            self._store(i, value)
+            i += 1
 
     def size_of(self, offset: int, length: int) -> int:
         self._check(offset, length)
         return self._prefix[offset + length] - self._prefix[offset]
 
     def _check(self, offset: int, length: int) -> None:
-        if offset < 0 or length < 0 or offset + length > len(self.cells):
+        if offset < 0 or length < 0 or offset + length > len(self._code):
             raise IndexError(
                 f"access cells [{offset}, {offset + length}) out of bounds "
-                f"for region {self.name!r} with {len(self.cells)} cells"
+                f"for region {self.name!r} with {len(self._code)} cells"
             )

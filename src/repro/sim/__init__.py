@@ -10,7 +10,7 @@ protocol stack and Spindle optimizations run. It provides:
 * :mod:`~repro.sim.units` — µs/GB literal helpers.
 """
 
-from .engine import SimulationError, Simulator, Timer
+from .engine import AtTime, SimulationError, Simulator, Timer
 from .process import Process
 from .sync import Doorbell, Event, Lock
 from . import units
@@ -19,6 +19,7 @@ __all__ = [
     "Simulator",
     "SimulationError",
     "Timer",
+    "AtTime",
     "Process",
     "Event",
     "Doorbell",

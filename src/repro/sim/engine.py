@@ -1,24 +1,52 @@
 """Discrete-event simulation kernel.
 
 The kernel is a small, deterministic event-driven simulator in the style
-of SimPy: a :class:`Simulator` owns a heap of timestamped callbacks and a
-notion of *simulated time*, and :class:`~repro.sim.process.Process`
+of SimPy: a :class:`Simulator` owns a queue of timestamped callbacks and
+a notion of *simulated time*, and :class:`~repro.sim.process.Process`
 objects (generator coroutines) advance that time by yielding delays and
 synchronization primitives.
 
 Determinism: events scheduled for the same timestamp fire in scheduling
 order (a monotonically increasing sequence number breaks ties), so a run
 with a fixed seed is exactly reproducible.
+
+Two interchangeable schedulers implement that (time, seq) contract
+(selected per Simulator via ``engine=`` or the ``SPINDLE_ENGINE``
+environment variable; see docs/ENGINE.md):
+
+* ``"optimized"`` (default) — a calendar queue: a *now-deque* for
+  events at the current instant (the dominant case: zero-delay wakeups
+  from event triggers and doorbells), a ring of time buckets for the
+  near future, and a heap fallback for far-future events.  Internal
+  wakeups are stored as bare ``(time, seq, fn, args)`` entries with no
+  :class:`Timer` allocation.
+* ``"reference"`` — the original flat ``heapq`` scheduler, kept
+  bit-for-bit compatible as the baseline for the engine-speed benchmark
+  and for differential determinism tests.
+
+Both produce the exact same event order and the exact same timestamps;
+``benchmarks/bench_engine_speed.py`` and the scheduler-conformance tests
+enforce this.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import os
 import random
+from collections import deque
 from typing import Any, Callable, List, Optional, Tuple
 
-__all__ = ["Simulator", "SimulationError", "Timer"]
+__all__ = ["Simulator", "SimulationError", "Timer", "AtTime"]
+
+#: Calendar-queue geometry: ``_NUM_BUCKETS`` buckets of ``_BUCKET_WIDTH``
+#: seconds each.  Protocol timing constants are O(100 ns), so a 500 ns
+#: bucket keeps same-bucket occupancy small while the whole ring covers
+#: 32 µs of near future; anything beyond falls back to the far heap.
+_BUCKET_WIDTH = 5e-7
+_NUM_BUCKETS = 64
+_ENGINE_MODES = ("optimized", "reference")
 
 
 class SimulationError(RuntimeError):
@@ -57,6 +85,22 @@ class Timer:
         self._fn(*self._args)
 
 
+class AtTime:
+    """Yieldable absolute-time sleep: ``yield AtTime(t)`` resumes the
+    process at exactly ``t``.
+
+    The predicate thread's folded fast path needs this: a wake time
+    computed as a chain of float additions (``t0 + a + b``) must be hit
+    *bit-for-bit*, and re-deriving it from relative delays
+    (``now + (t - now)``) is not exact in floating point.
+    """
+
+    __slots__ = ("time",)
+
+    def __init__(self, time: float):
+        self.time = time
+
+
 class Simulator:
     """The simulation clock and event queue.
 
@@ -72,10 +116,11 @@ class Simulator:
 
     #: Optional scheduling hook for the happens-before tracker
     #: (:mod:`repro.analysis.lint.hb`).  When set (on the class), every
-    #: ``call_at`` passes ``(sim, fn, args)`` through it and schedules
-    #: whatever it returns — letting the tracker thread vector-clock
-    #: snapshots from the scheduling context to the fire context.  None
-    #: (the default) costs one attribute check per scheduled event.
+    #: scheduling call passes ``(sim, fn, args)`` through it and
+    #: schedules whatever it returns — letting the tracker thread
+    #: vector-clock snapshots from the scheduling context to the fire
+    #: context.  None (the default) costs one attribute check per
+    #: scheduled event.
     hb_hook = None
     #: Companion hook called as ``hb_run_hook(sim)`` when :meth:`run`
     #: returns: the caller (usually test code between ``run`` calls) is
@@ -84,9 +129,18 @@ class Simulator:
     #: subsequent actions.
     hb_run_hook = None
 
-    def __init__(self, seed: int = 0):
-        self._now: float = 0.0
-        self._heap: List[Tuple[float, int, Timer]] = []
+    def __init__(self, seed: int = 0, engine: Optional[str] = None):
+        if engine is None:
+            engine = os.environ.get("SPINDLE_ENGINE", "optimized")
+        if engine not in _ENGINE_MODES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {_ENGINE_MODES}"
+            )
+        #: Scheduler implementation: "optimized" or "reference".  The
+        #: predicate thread and other fast-path users key off this.
+        self.engine_mode = engine
+        #: Current simulated time in seconds (read-only by convention).
+        self.now: float = 0.0
         self._seq = itertools.count()
         self._processes: List[Any] = []  # live Process objects (for debugging)
         self.rng = random.Random(seed)
@@ -97,33 +151,192 @@ class Simulator:
         #: owner tracking and by the runtime sanitizer to attribute RDMA
         #: posts to the thread that issued them.
         self.current_process: Optional[Any] = None
-
-    # ------------------------------------------------------------------ time
-
-    @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
+        # -- engine statistics (benchmarks/bench_engine_speed.py) -------------
+        #: Callbacks actually fired (cancelled timers excluded).
+        self.events_executed = 0
+        #: Entries currently queued (including not-yet-reaped cancelled
+        #: timers) and the high-water mark of that count.
+        self.pending_events = 0
+        self.peak_pending_events = 0
+        if engine == "reference":
+            self._heap: List[Tuple[float, int, Timer]] = []
+            self.post = self._post_ref
+            self.post_after = self._post_after_ref
+            self.post_at = self._post_at_ref
+        else:
+            #: Events at exactly the current instant, in seq order.
+            self._now_q: deque = deque()
+            #: Near-future bucket ring.  Future buckets are unsorted
+            #: lists; the active bucket is lazily heapified.
+            self._buckets: List[list] = [[] for _ in range(_NUM_BUCKETS)]
+            self._bucket_idx = 0
+            self._active_heaped = False
+            self._base = 0.0
+            self._horizon = _NUM_BUCKETS * _BUCKET_WIDTH
+            self._near_count = 0
+            #: Far-future heap fallback (time >= horizon).
+            self._far: List[tuple] = []
+            self.post = self._post_opt
+            self.post_after = self._post_after_opt
+            self.post_at = self._post_at_opt
 
     # ------------------------------------------------------------- scheduling
 
     def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Timer:
         """Schedule ``fn(*args)`` at absolute simulated ``time``."""
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule at {time} before current time {self._now}"
+                f"cannot schedule at {time} before current time {self.now}"
             )
         if Simulator.hb_hook is not None:
             fn, args = Simulator.hb_hook(self, fn, args)
         timer = Timer(time, fn, args)
-        heapq.heappush(self._heap, (time, next(self._seq), timer))
+        if self.engine_mode == "reference":
+            heapq.heappush(self._heap, (time, next(self._seq), timer))
+            pending = self.pending_events + 1
+            self.pending_events = pending
+            if pending > self.peak_pending_events:
+                self.peak_pending_events = pending
+        else:
+            self._insert(time, next(self._seq), timer, None)
         return timer
 
     def call_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> Timer:
         """Schedule ``fn(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.call_at(self._now + delay, fn, *args)
+        return self.call_at(self.now + delay, fn, *args)
+
+    # -- internal no-Timer scheduling (hot paths) ---------------------------
+    #
+    # ``post`` / ``post_after`` / ``post_at`` schedule a bare callback
+    # with no cancellation handle.  Process wakeups, event triggers and
+    # doorbell rings never cancel, so they skip the Timer allocation
+    # entirely on the optimized engine.  On the reference engine these
+    # delegate to call_at, reproducing the pre-rewrite cost model.
+
+    def _post_ref(self, fn: Callable[..., Any], *args: Any) -> None:
+        self.call_at(self.now + 0.0, fn, *args)
+
+    def _post_after_ref(self, delay: float, fn: Callable[..., Any],
+                        *args: Any) -> None:
+        self.call_after(delay, fn, *args)
+
+    def _post_at_ref(self, time: float, fn: Callable[..., Any],
+                     *args: Any) -> None:
+        self.call_at(time, fn, *args)
+
+    def _post_opt(self, fn: Callable[..., Any], *args: Any) -> None:
+        if Simulator.hb_hook is not None:
+            fn, args = Simulator.hb_hook(self, fn, args)
+        self._insert(self.now, next(self._seq), fn, args)
+
+    def _post_after_opt(self, delay: float, fn: Callable[..., Any],
+                        *args: Any) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        if Simulator.hb_hook is not None:
+            fn, args = Simulator.hb_hook(self, fn, args)
+        self._insert(self.now + delay, next(self._seq), fn, args)
+
+    def _post_at_opt(self, time: float, fn: Callable[..., Any],
+                     *args: Any) -> None:
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        if Simulator.hb_hook is not None:
+            fn, args = Simulator.hb_hook(self, fn, args)
+        self._insert(time, next(self._seq), fn, args)
+
+    def _insert(self, time: float, seq: int, cb: Any, args: Any) -> None:
+        """Calendar-queue insert.  ``args is None`` marks a Timer entry."""
+        pending = self.pending_events + 1
+        self.pending_events = pending
+        if pending > self.peak_pending_events:
+            self.peak_pending_events = pending
+        entry = (time, seq, cb, args)
+        if time == self.now:
+            # Sound because the run loop always moves *every* pending
+            # entry at a timestamp into the now-queue before firing any
+            # of them: anything still in the buckets/heap is strictly
+            # later, and a new same-instant entry has a larger seq than
+            # the whole current batch.
+            self._now_q.append(entry)
+            return
+        if time < self._horizon:
+            idx = int((time - self._base) / _BUCKET_WIDTH)
+            # Clamp float edge cases into the live window; ordering is
+            # unaffected because the active bucket is a heap and bucket
+            # index is monotone in time.
+            if idx < self._bucket_idx:
+                idx = self._bucket_idx
+            elif idx >= _NUM_BUCKETS:
+                idx = _NUM_BUCKETS - 1
+            bucket = self._buckets[idx]
+            if idx == self._bucket_idx and self._active_heaped:
+                heapq.heappush(bucket, entry)
+            else:
+                bucket.append(entry)
+            self._near_count += 1
+        else:
+            heapq.heappush(self._far, entry)
+
+    def _advance(self) -> bool:
+        """Move the next batch of equal-time events into the now-queue.
+
+        Returns False when no events remain.  Does NOT advance the
+        clock: ``now`` only moves when a live callback actually fires,
+        matching the reference scheduler (cancelled timers never
+        advance time).
+        """
+        now_q = self._now_q
+        buckets = self._buckets
+        far = self._far
+        while True:
+            active = buckets[self._bucket_idx]
+            if active and not self._active_heaped:
+                heapq.heapify(active)
+                self._active_heaped = True
+            if not active:
+                if self._near_count:
+                    # A later bucket is non-empty: advance the ring.
+                    self._bucket_idx += 1
+                    self._active_heaped = False
+                    continue
+                if not far:
+                    return False
+                # Ring exhausted: re-anchor the window at the next far
+                # event and pull everything inside it into the buckets.
+                base = far[0][0]
+                self._base = base
+                self._horizon = horizon = base + _NUM_BUCKETS * _BUCKET_WIDTH
+                self._bucket_idx = 0
+                self._active_heaped = False
+                while far and far[0][0] < horizon:
+                    entry = heapq.heappop(far)
+                    idx = int((entry[0] - base) / _BUCKET_WIDTH)
+                    if idx >= _NUM_BUCKETS:
+                        idx = _NUM_BUCKETS - 1
+                    buckets[idx].append(entry)
+                    self._near_count += 1
+                continue
+            # Far entries are >= the horizon, i.e. beyond every bucket —
+            # except entries pushed back by an `until` break, so always
+            # merge by full (time, seq) comparison.
+            t = active[0][0] if not far or active[0] <= far[0] else far[0][0]
+            move = now_q.append
+            while True:
+                a_ok = active and active[0][0] == t
+                f_ok = far and far[0][0] == t
+                if a_ok and (not f_ok or active[0] < far[0]):
+                    move(heapq.heappop(active))
+                    self._near_count -= 1
+                elif f_ok:
+                    move(heapq.heappop(far))
+                else:
+                    break
+            return True
 
     def spawn(self, generator, name: str = "proc"):
         """Start a new simulated process from a generator. See Process."""
@@ -146,21 +359,64 @@ class Simulator:
         is given, time is advanced to exactly ``until`` even if the queue
         drained earlier (matching SimPy semantics).
         """
+        if self.engine_mode == "reference":
+            return self._run_ref(until)
         self._stopped = False
-        while self._heap and not self._stopped:
-            time, _seq, timer = self._heap[0]
-            if until is not None and time > until:
-                break
-            heapq.heappop(self._heap)
-            if not timer.active:
+        now_q = self._now_q
+        while not self._stopped:
+            if not now_q:
+                if not self._advance():
+                    break
                 continue
-            self._now = time
-            timer._fire()
-        if until is not None and self._now < until and not self._stopped:
-            self._now = until
+            entry = now_q.popleft()
+            time = entry[0]
+            if until is not None and time > until:
+                # Push the whole un-fired batch back for a later run().
+                far = self._far
+                heapq.heappush(far, entry)
+                while now_q:
+                    heapq.heappush(far, now_q.popleft())
+                break
+            self.pending_events -= 1
+            cb = entry[2]
+            args = entry[3]
+            if args is None:  # Timer entry
+                if cb._cancelled:
+                    continue
+                self.now = time
+                self.events_executed += 1
+                cb._fired = True
+                cb._fn(*cb._args)
+            else:
+                self.now = time
+                self.events_executed += 1
+                cb(*args)
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
         if Simulator.hb_run_hook is not None:
             Simulator.hb_run_hook(self)
-        return self._now
+        return self.now
+
+    def _run_ref(self, until: Optional[float]) -> float:
+        """The pre-rewrite flat-heap run loop, kept verbatim."""
+        self._stopped = False
+        heap = self._heap
+        while heap and not self._stopped:
+            time, _seq, timer = heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(heap)
+            self.pending_events -= 1
+            if not timer.active:
+                continue
+            self.now = time
+            self.events_executed += 1
+            timer._fire()
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+        if Simulator.hb_run_hook is not None:
+            Simulator.hb_run_hook(self)
+        return self.now
 
     def run_until_idle(self, max_time: Optional[float] = None) -> float:
         """Run until no events remain (optionally bounded by ``max_time``)."""
@@ -168,6 +424,27 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Timestamp of the next pending event, or None if queue is empty."""
-        while self._heap and not self._heap[0][2].active:
-            heapq.heappop(self._heap)
-        return self._heap[0][0] if self._heap else None
+        if self.engine_mode == "reference":
+            heap = self._heap
+            while heap and not heap[0][2].active:
+                heapq.heappop(heap)
+                self.pending_events -= 1
+            return heap[0][0] if heap else None
+        best: Optional[float] = None
+        for entry in self._now_q:
+            if entry[3] is not None or not entry[2]._cancelled:
+                best = entry[0]
+                break
+        buckets = self._buckets
+        for idx in range(self._bucket_idx, _NUM_BUCKETS):
+            for entry in buckets[idx]:
+                if entry[3] is not None or not entry[2]._cancelled:
+                    if best is None or entry[0] < best:
+                        best = entry[0]
+        far = self._far
+        while far and far[0][3] is None and far[0][2]._cancelled:
+            heapq.heappop(far)
+            self.pending_events -= 1
+        if far and (best is None or far[0][0] < best):
+            best = far[0][0]
+        return best

@@ -13,6 +13,8 @@ yielded value           meaning
 :class:`Process`        join: wait until that process finishes; evaluates
                         to its result
 ``None``                re-schedule immediately (cooperative yield point)
+:class:`AtTime`         sleep until an exact absolute timestamp (used by
+                        fast paths that fold several sleeps into one wake)
 ======================  ====================================================
 
 Exceptions raised inside a process propagate out of ``Simulator.run`` —
@@ -31,7 +33,7 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
-from .engine import SimulationError, Simulator
+from .engine import AtTime, SimulationError, Simulator
 from .sync import Event
 
 __all__ = ["Process"]
@@ -68,7 +70,7 @@ class Process:
         self._deferred = None
         self.result: Any = None
         self.completion = Event(sim, name=f"{name}.completion")
-        sim.call_after(0.0, self._step, None)
+        sim.post(self._step, None)
 
     # ----------------------------------------------------------------- state
 
@@ -120,7 +122,7 @@ class Process:
         if self._deferred is not None and self._alive:
             (value,) = self._deferred
             self._deferred = None
-            self.sim.call_after(0.0, self._step, value)
+            self.sim.post(self._step, value)
 
     # ------------------------------------------------------------- execution
 
@@ -146,18 +148,30 @@ class Process:
 
     def _dispatch(self, yielded: Any) -> None:
         """Schedule the next resumption according to the yielded value."""
-        if yielded is None:
-            self.sim.call_after(0.0, self._step, None)
-        elif isinstance(yielded, (int, float)):
+        # Exact-type checks first: plain float/int sleeps dominate the
+        # hot loop, and sleeps/wakeups never need a cancellation handle,
+        # so they go through the simulator's no-Timer post paths.
+        cls = yielded.__class__
+        if cls is float or cls is int:
             if yielded < 0:
                 raise SimulationError(
                     f"process {self.name!r} yielded negative delay {yielded}"
                 )
-            self.sim.call_after(float(yielded), self._step, None)
+            self.sim.post_after(yielded, self._step, None)
+        elif cls is AtTime:
+            self.sim.post_at(yielded.time, self._step, None)
         elif isinstance(yielded, Event):
             yielded.add_waiter(self._on_event)
+        elif yielded is None:
+            self.sim.post(self._step, None)
         elif isinstance(yielded, Process):
             yielded.completion.add_waiter(self._on_event)
+        elif isinstance(yielded, (int, float)):  # bool / numeric subclasses
+            if yielded < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative delay {yielded}"
+                )
+            self.sim.post_after(float(yielded), self._step, None)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded unsupported value {yielded!r}"

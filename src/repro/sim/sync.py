@@ -48,7 +48,7 @@ class Event:
         self.value = value
         waiters, self._waiters = self._waiters, []
         for waiter in waiters:
-            self.sim.call_after(0.0, waiter, value)
+            self.sim.post(waiter, value)
 
     def add_waiter(self, callback: Callable[[Any], None]) -> None:
         """Register a callback for the trigger (fires immediately-queued
@@ -56,7 +56,7 @@ class Event:
         if self.triggered:
             if Event.hb_hook is not None:
                 Event.hb_hook("replay", self)
-            self.sim.call_after(0.0, callback, self.value)
+            self.sim.post(callback, self.value)
         else:
             self._waiters.append(callback)
 
@@ -200,6 +200,23 @@ class Lock:
             self.contended_acquires += 1
             self._queue.append(_Waiter(event, owner, self.sim.now))
         return event
+
+    def acquire_nowait(self, owner: Any = None) -> bool:
+        """Grab the lock immediately if free; return True on success.
+
+        Equivalent to :meth:`acquire` in the uncontended case but with no
+        Event allocation and no scheduler round-trip — the caller already
+        holds the lock when this returns True (same grant instant, same
+        hb "grant" edge, same accounting). On False the caller must fall
+        back to ``yield lock.acquire()``; nothing was counted.
+        """
+        if self.locked or self._queue:
+            return False
+        if owner is None:
+            owner = self.sim.current_process
+        self.acquires += 1
+        self._grant(owner)
+        return True
 
     def release(self, owner: Any = None) -> None:
         """Release the lock, handing it to the next queued waiter (FIFO).

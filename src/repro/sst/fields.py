@@ -118,6 +118,12 @@ class SSTLayout:
         return tuple(c.size for c in self.columns)
 
     @property
+    def cell_kinds(self) -> Tuple[str, ...]:
+        """Kind of each column, in order (feeds CellRegion's typed
+        slot-array backing: counters/flags become machine words)."""
+        return tuple(c.kind for c in self.columns)
+
+    @property
     def row_bytes(self) -> int:
         """Total registered bytes per row."""
         return sum(c.size for c in self.columns)

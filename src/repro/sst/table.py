@@ -60,7 +60,9 @@ class SST:
             )
         self.rows: Dict[int, CellRegion] = {}
         for owner in self.members:
-            region = CellRegion(layout.cell_sizes, name=f"sst-row{owner}@{self.node_id}")
+            region = CellRegion(layout.cell_sizes,
+                                name=f"sst-row{owner}@{self.node_id}",
+                                kinds=layout.cell_kinds)
             # Pre-view initialization happens before any push can observe
             # the row, so the raw fill is sound here (and only here).
             region.cells = layout.initial_values()  # spindle-lint: allow[sst-monotonic-write]

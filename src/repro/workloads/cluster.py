@@ -54,12 +54,16 @@ class Cluster:
         seed: int = 0,
         metrics: Optional[MetricsRegistry] = None,
         backend=None,
+        engine: Optional[str] = None,
     ):
         if num_nodes < 1:
             raise ValueError("cluster needs at least one node")
         self.seed = seed
         self.backend = resolve_backend(backend)
-        self.sim = Simulator(seed=seed)
+        #: ``engine`` selects the event-scheduler implementation
+        #: ("optimized" / "reference", see docs/ENGINE.md); None defers
+        #: to SPINDLE_ENGINE or the optimized default.
+        self.sim = Simulator(seed=seed, engine=engine)
         #: The fabric-wide metrics registry (docs/METRICS.md). Pass your
         #: own, or set SPINDLE_METRICS=0 to make every instrument a
         #: shared no-op (zero-cost-when-disabled).

@@ -1,0 +1,330 @@
+"""Scheduler conformance: the calendar-queue engine vs the reference heap.
+
+Both engines implement the same (time, seq) contract — same-timestamp
+events fire in scheduling order, cancelled timers never advance the
+clock — and docs/ENGINE.md promises they are interchangeable bit for
+bit. These tests pin the contract on each engine alone and
+differentially between them, with special attention to the places the
+calendar queue could plausibly diverge: the now-queue fast path, the
+bucket ring's edges, far-heap re-anchoring, ``until`` pushback, and
+cancellation while a batch is draining.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.sim import Simulator, SimulationError
+from repro.sim.engine import _BUCKET_WIDTH, _NUM_BUCKETS, AtTime
+
+ENGINES = ("optimized", "reference")
+HORIZON = _NUM_BUCKETS * _BUCKET_WIDTH
+
+both_engines = pytest.mark.parametrize("engine", ENGINES)
+
+
+# ---------------------------------------------------------------------------
+# Same-timestamp FIFO, across every insertion path
+# ---------------------------------------------------------------------------
+
+
+@both_engines
+def test_same_time_fifo_across_apis(engine):
+    """Interleaved call_at / post_at / post_after / post at one instant
+    fire in scheduling order, regardless of which API queued them."""
+    sim = Simulator(engine=engine)
+    fired = []
+    t = 3 * _BUCKET_WIDTH  # mid-ring, not the now-queue
+
+    def arm():
+        sim.call_at(t, fired.append, 0)
+        sim.post_at(t, fired.append, 1)
+        sim.post_after(t - sim.now, fired.append, 2)
+        sim.call_at(t, fired.append, 3)
+        sim.post_at(t, fired.append, 4)
+
+    sim.post(arm)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+    assert sim.now == t
+
+
+@both_engines
+def test_now_queue_fifo_with_nested_posts(engine):
+    """Zero-delay posts made *while draining* the current instant fire
+    after everything already queued at that instant (larger seq)."""
+    sim = Simulator(engine=engine)
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.post(fired.append, "nested")  # same instant, queued last
+        sim.post_after(0.0, fired.append, "nested-after")
+
+    sim.call_after(1e-6, first)
+    sim.call_at(1e-6, fired.append, "second")
+    sim.run()
+    assert fired == ["first", "second", "nested", "nested-after"]
+
+
+@both_engines
+def test_attime_hits_exact_float(engine):
+    """yield AtTime(t) resumes at bit-for-bit ``t`` even when the chain
+    of additions that produced ``t`` is not representable as now+delta."""
+    sim = Simulator(engine=engine)
+    t = 0.1 + 0.2 + 0.3  # classic float-association trap
+    seen = []
+
+    def proc():
+        yield AtTime(t)
+        seen.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert seen == [t]
+
+
+# ---------------------------------------------------------------------------
+# Cancellation
+# ---------------------------------------------------------------------------
+
+
+@both_engines
+def test_cancel_during_same_instant_drain(engine):
+    """A timer cancelled by an earlier callback *at the same timestamp*
+    must not fire: the batch is already staged when the canceller runs."""
+    sim = Simulator(engine=engine)
+    fired = []
+    victim = {}
+
+    def canceller():
+        fired.append("canceller")
+        victim["t"].cancel()
+
+    sim.call_at(1e-6, canceller)
+    victim["t"] = sim.call_at(1e-6, fired.append, "victim")
+    sim.call_at(1e-6, fired.append, "survivor")
+    sim.run()
+    assert fired == ["canceller", "survivor"]
+
+
+@both_engines
+def test_cancelled_tail_never_advances_clock(engine):
+    """Cancelled timers are skipped without moving ``now`` or counting
+    as executed events — on both engines."""
+    sim = Simulator(engine=engine)
+    fired = []
+    sim.call_after(1e-6, fired.append, "real")
+    late = sim.call_after(5.0, fired.append, "cancelled")
+    late.cancel()
+    far = sim.call_after(7.0, fired.append, "cancelled-far")
+    far.cancel()
+    end = sim.run()
+    assert fired == ["real"]
+    assert end == 1e-6 and sim.now == 1e-6
+    assert sim.events_executed == 1
+    assert not late.active and not far.active
+
+
+@both_engines
+def test_peek_skips_cancelled(engine):
+    """peek() reports the next *live* event on both engines."""
+    sim = Simulator(engine=engine)
+    doomed = sim.call_after(1e-6, lambda: None)
+    sim.call_after(2e-6, lambda: None)
+    doomed.cancel()
+    assert sim.peek() == 2e-6
+    sim.run()
+    assert sim.peek() is None
+
+
+# ---------------------------------------------------------------------------
+# Bucket-ring boundaries and the far heap
+# ---------------------------------------------------------------------------
+
+
+@both_engines
+def test_horizon_boundary_ordering(engine):
+    """Events straddling the near/far boundary (one bucket-width apart,
+    exactly at the horizon, just inside, far beyond) fire in time order
+    with FIFO ties."""
+    sim = Simulator(engine=engine)
+    fired = []
+    times = [HORIZON - _BUCKET_WIDTH, HORIZON - 1e-9, HORIZON,
+             HORIZON + 1e-9, 10 * HORIZON]
+    for i, t in enumerate(times):
+        sim.call_at(t, fired.append, i)
+        sim.call_at(t, fired.append, (i, "tie"))
+    sim.run()
+    assert fired == [x for i in range(len(times)) for x in (i, (i, "tie"))]
+    assert sim.now == 10 * HORIZON
+
+
+@both_engines
+def test_far_heap_reanchor_preserves_fifo(engine):
+    """After the ring drains, the window re-anchors at the next far
+    event; same-timestamp FIFO must survive the bucket refill."""
+    sim = Simulator(engine=engine)
+    fired = []
+    base = 5 * HORIZON  # all of these start in the far heap
+    for i in range(8):
+        sim.call_at(base + (i % 3) * _BUCKET_WIDTH, fired.append, i)
+    sim.run()
+    expect = sorted(range(8), key=lambda i: (i % 3, i))
+    assert fired == expect
+
+
+@both_engines
+def test_past_bucket_scheduling_after_reanchor(engine):
+    """A callback firing late in the re-anchored window can schedule
+    into what is now a *past* bucket index (time < active bucket's
+    nominal start): it must still fire, in time order."""
+    sim = Simulator(engine=engine)
+    fired = []
+
+    def late():
+        fired.append("late")
+        # now is deep in the window; a tiny delay lands in the active
+        # (partially drained) bucket — the "past bucket" clamp path.
+        sim.call_after(1e-10, fired.append, "tiny")
+        sim.post(fired.append, "instant")
+
+    sim.call_at(HORIZON - 2e-9, late)
+    sim.run()
+    assert fired == ["late", "instant", "tiny"]
+
+
+@both_engines
+def test_until_pushback_preserves_batch_order(engine):
+    """run(until) that stops *inside* a same-timestamp batch pushes the
+    un-fired remainder back; a later run() must fire it in the original
+    scheduling order (the far heap can then briefly hold near events —
+    the merge must compare full (time, seq))."""
+    sim = Simulator(engine=engine)
+    fired = []
+    t = 2e-6
+    for i in range(6):
+        sim.call_at(t, fired.append, i)
+    sim.call_at(t + _BUCKET_WIDTH / 2, fired.append, "later")
+    assert sim.run(until=1e-6) == 1e-6
+    assert fired == []
+    sim.call_at(t, fired.append, 6)  # arrives between the two runs
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5, 6, "later"]
+
+
+@both_engines
+def test_schedule_in_past_raises(engine):
+    sim = Simulator(engine=engine)
+    sim.call_after(1e-6, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(sim.now - 1e-9, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.post_at(sim.now - 1e-9, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.post_after(-1e-9, lambda: None)
+
+
+# ---------------------------------------------------------------------------
+# Differential: both engines, identical firing order
+# ---------------------------------------------------------------------------
+
+
+def _run_schedule(engine, delays):
+    """Drive one engine through a deterministic schedule derived from
+    ``delays``: roots at call_after(d), each root fanning out through a
+    different scheduling API, children re-scheduling recursively so the
+    now-queue, ring, and far heap all see traffic."""
+    sim = Simulator(engine=engine)
+    log = []
+
+    def child(i, depth):
+        log.append((sim.now, "child", i, depth))
+        if depth < 2:
+            sim.post_after((i % 7) * (_BUCKET_WIDTH / 3), child, i, depth + 1)
+
+    def root(i, d):
+        log.append((sim.now, "root", i))
+        mode = i % 4
+        if mode == 0:
+            sim.post(child, i, 0)
+        elif mode == 1:
+            sim.post_after(d, child, i, 0)
+        elif mode == 2:
+            sim.post_at(sim.now + d, child, i, 0)
+        else:
+            timer = sim.call_after(d / 2, child, i, 0)
+            if i % 8 == 3:
+                timer.cancel()
+
+    for i, d in enumerate(delays):
+        sim.call_after(d, root, i, d)
+    end = sim.run()
+    return log, end, sim.events_executed
+
+
+delay_strategy = st.lists(
+    st.one_of(
+        # Exact boundary-hitting values: 0, one bucket, the horizon...
+        st.sampled_from([0.0, _BUCKET_WIDTH, _BUCKET_WIDTH * 3,
+                         HORIZON, HORIZON + _BUCKET_WIDTH, 2.5 * HORIZON]),
+        # ...and arbitrary delays spanning now-queue to far-heap scales.
+        st.floats(min_value=0.0, max_value=1e-3,
+                  allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1, max_size=30,
+)
+
+
+@given(delays=delay_strategy)
+@settings(max_examples=50, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_calendar_and_heap_fire_identically(delays):
+    """Property: for any schedule, the optimized engine fires the exact
+    same callbacks at the exact same timestamps in the exact same order
+    as the reference heap, and retires the same number of events."""
+    results = {eng: _run_schedule(eng, delays) for eng in ENGINES}
+    opt, ref = results["optimized"], results["reference"]
+    assert opt[0] == ref[0]   # full (time, label) logs identical
+    assert opt[1] == ref[1]   # same end-of-run clock
+    assert opt[2] == ref[2]   # same events_executed
+
+
+@given(delays=delay_strategy, until=st.floats(min_value=0.0, max_value=2e-3,
+                                              allow_nan=False))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_split_runs_match_single_run(delays, until):
+    """Property: run(until) + run() equals one uninterrupted run() on
+    both engines — pushback may not reorder anything."""
+    whole = {eng: _run_schedule(eng, delays) for eng in ENGINES}
+
+    for eng in ENGINES:
+        sim = Simulator(engine=eng)
+        log = []
+
+        def child(i, depth, sim=sim, log=log):
+            log.append((sim.now, "child", i, depth))
+            if depth < 2:
+                sim.post_after((i % 7) * (_BUCKET_WIDTH / 3),
+                               child, i, depth + 1)
+
+        def root(i, d, sim=sim, log=log, child=child):
+            log.append((sim.now, "root", i))
+            mode = i % 4
+            if mode == 0:
+                sim.post(child, i, 0)
+            elif mode == 1:
+                sim.post_after(d, child, i, 0)
+            elif mode == 2:
+                sim.post_at(sim.now + d, child, i, 0)
+            else:
+                timer = sim.call_after(d / 2, child, i, 0)
+                if i % 8 == 3:
+                    timer.cancel()
+
+        for i, d in enumerate(delays):
+            sim.call_after(d, root, i, d)
+        sim.run(until=until)
+        sim.run()
+        assert log == whole[eng][0]
