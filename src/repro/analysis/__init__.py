@@ -1,7 +1,17 @@
 """Analysis: paper-style result formatting for the benchmark harness."""
 
+from .linearize import (
+    HistoryRecorder,
+    LinearizabilityReport,
+    Op,
+    check_history,
+    check_recorder,
+)
+from .linearize import selftest as linearize_selftest
 from .report import figure_banner, format_table, gbps, ratio, usec
 from .trace import TraceEvent, Tracer
 
 __all__ = ["figure_banner", "format_table", "gbps", "ratio", "usec",
-           "Tracer", "TraceEvent"]
+           "Tracer", "TraceEvent",
+           "Op", "HistoryRecorder", "LinearizabilityReport",
+           "check_history", "check_recorder", "linearize_selftest"]

@@ -1,0 +1,225 @@
+"""Black-box linearizability auditor for KV histories.
+
+Records per-client invoke/complete histories from the KV and shard
+workloads and checks them against a sequential register per key — a
+Wing–Gong search made tractable by P-compositionality: a history over
+many keys is linearizable iff each per-key sub-history is, so keys are
+checked independently (the classical result linearizability composes
+by object).
+
+Scope and soundness (docs/DURABILITY.md):
+
+* The recorder is *passive*: callbacks append to Python lists, no
+  simulated events are created, so attaching it never perturbs a run's
+  trace fingerprint.
+* Completed operations (an ack observed) MUST be linearized between
+  their invoke and complete instants. Pending operations (no ack:
+  timeout, crash, in-flight at harvest) MAY be linearized at any point
+  after their invoke, or dropped entirely — both futures are legal for
+  an operation whose outcome the client never saw.
+* Rejected operations (admission control said no) never entered the
+  system and are excluded by the caller via :meth:`HistoryRecorder.drop`.
+* The checker is sound and complete for the recorded history: a
+  reported violation is a real non-linearizable ordering; a pass means
+  *some* legal linearization exists. It audits what clients observed —
+  it cannot see internal state the workload never read back, which is
+  why scenarios append synthetic final reads of every replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Op", "HistoryRecorder", "LinearizabilityReport",
+           "check_history", "check_recorder", "selftest"]
+
+
+@dataclass
+class Op:
+    """One client operation in the recorded history."""
+
+    client: int
+    kind: str                      # "put" | "get"
+    key: bytes
+    #: put: the value written. get: the value returned (None until
+    #: completion; a completed get of a missing key records None too —
+    #: disambiguated by ``returned``).
+    value: Optional[bytes]
+    invoked: float
+    returned: Optional[float] = None   # None = pending (no ack observed)
+
+    def describe(self) -> str:
+        window = (f"[{self.invoked:.6g}, "
+                  f"{'…' if self.returned is None else format(self.returned, '.6g')}]")
+        return (f"c{self.client} {self.kind}({self.key!r})"
+                f"{'=' + repr(self.value) if self.value is not None else ''} "
+                f"@{window}")
+
+
+class HistoryRecorder:
+    """Passive per-client invoke/ack/return history.
+
+    Usage from a workload hook::
+
+        op = recorder.invoke(client, "put", key, value, at=sim.now)
+        ...                       # the request runs
+        recorder.complete(op, at=sim.now)          # acked
+        recorder.drop(op)                          # or: rejected
+
+    Never completing an op leaves it *pending* (timeout / client died
+    with the request in flight) — the checker treats its effect as
+    optional. All methods are plain list/dict operations: attaching a
+    recorder adds no simulated events.
+    """
+
+    def __init__(self):
+        self.ops: List[Op] = []
+        self._dropped: set = set()
+
+    def invoke(self, client: int, kind: str, key: bytes,
+               value: Optional[bytes], at: float) -> int:
+        if kind not in ("put", "get"):
+            raise ValueError(f"unknown op kind {kind!r}")
+        self.ops.append(Op(client, kind, bytes(key), value, at))
+        return len(self.ops) - 1
+
+    def complete(self, op_id: int, at: float,
+                 value: Optional[bytes] = None) -> None:
+        op = self.ops[op_id]
+        op.returned = at
+        if op.kind == "get":
+            op.value = value
+
+    def drop(self, op_id: int) -> None:
+        """Remove an op that never entered the system (admission-control
+        reject): it has no place in the linearized history."""
+        self._dropped.add(op_id)
+
+    def record_read(self, client: int, key: bytes,
+                    value: Optional[bytes], at: float) -> None:
+        """An instantaneous observed read (synthetic final audit reads
+        of replica state)."""
+        op_id = self.invoke(client, "get", key, None, at)
+        self.complete(op_id, at, value)
+
+    def history(self) -> List[Op]:
+        return [op for i, op in enumerate(self.ops)
+                if i not in self._dropped]
+
+    def __len__(self) -> int:
+        return len(self.ops) - len(self._dropped)
+
+
+@dataclass
+class LinearizabilityReport:
+    """Outcome of one history check."""
+
+    ok: bool
+    keys_checked: int = 0
+    ops_checked: int = 0
+    pending_ops: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "keys_checked": self.keys_checked,
+            "ops_checked": self.ops_checked,
+            "pending_ops": self.pending_ops,
+            "violations": list(self.violations),
+        }
+
+
+def _check_key(ops: List[Op]) -> Optional[str]:
+    """Wing–Gong search over one key's sub-history (register
+    semantics, initial value None). Returns None when linearizable,
+    else a one-line description of the violation.
+
+    State = (frozenset of remaining op indices, register value);
+    failed states are memoized, so the search is exponential only in
+    the width of genuinely concurrent operations.
+    """
+    n = len(ops)
+    all_ids = frozenset(range(n))
+    failed: set = set()
+
+    def search(remaining: frozenset, state: Optional[bytes]) -> bool:
+        completed = [i for i in remaining if ops[i].returned is not None]
+        if not completed:
+            return True  # pending ops may all be dropped
+        key_state = (remaining, state)
+        if key_state in failed:
+            return False
+        # Minimality: the next linearized op must be invoked no later
+        # than the earliest return among remaining completed ops
+        # (otherwise some completed op returned entirely before it).
+        bound = min(ops[i].returned for i in completed)
+        for i in remaining:
+            op = ops[i]
+            if op.invoked > bound:
+                continue
+            if op.kind == "put":
+                new_state = op.value
+            else:
+                if op.returned is not None and op.value != state:
+                    continue  # a completed get must observe the state
+                new_state = state
+            if search(remaining - {i}, new_state):
+                return True
+        failed.add(key_state)
+        return False
+
+    if search(all_ids, None):
+        return None
+    completed = sorted((op for op in ops if op.returned is not None),
+                       key=lambda op: op.invoked)
+    detail = "; ".join(op.describe() for op in completed[:6])
+    return (f"key {ops[0].key!r}: no legal linearization of "
+            f"{n} ops ({detail}{' …' if len(completed) > 6 else ''})")
+
+
+def check_history(ops: List[Op]) -> LinearizabilityReport:
+    """Check a multi-key history by per-key partitioning."""
+    by_key: Dict[bytes, List[Op]] = {}
+    for op in ops:
+        by_key.setdefault(op.key, []).append(op)
+    report = LinearizabilityReport(
+        ok=True, keys_checked=len(by_key), ops_checked=len(ops),
+        pending_ops=sum(1 for op in ops if op.returned is None))
+    for key in sorted(by_key):
+        violation = _check_key(by_key[key])
+        if violation is not None:
+            report.ok = False
+            report.violations.append(violation)
+    return report
+
+
+def check_recorder(recorder: HistoryRecorder) -> LinearizabilityReport:
+    return check_history(recorder.history())
+
+
+def selftest() -> Tuple[bool, LinearizabilityReport]:
+    """The auditor auditing itself: a legal history must pass and a
+    deliberately seeded stale read must be caught. Returns
+    ``(selftest_ok, stale_read_report)`` — run by every chaos scenario
+    that audits linearizability, so a silently broken checker cannot
+    green-light a run."""
+    legal = [
+        Op(0, "put", b"k", b"v1", 0.0, 1.0),
+        Op(1, "put", b"k", b"v2", 2.0, 3.0),
+        Op(0, "get", b"k", b"v2", 4.0, 5.0),
+        Op(2, "put", b"k", b"v3", 4.5, None),   # pending: droppable
+        Op(3, "put", b"q", b"x", 0.0, 9.0),
+        Op(4, "get", b"q", b"x", 9.5, 9.6),
+    ]
+    ok_pass = check_history(legal).ok
+    # Seeded violation: the second get observes v1 strictly after
+    # put(v2) completed — a stale read no linearization permits.
+    stale = [
+        Op(0, "put", b"k", b"v1", 0.0, 1.0),
+        Op(1, "put", b"k", b"v2", 2.0, 3.0),
+        Op(2, "get", b"k", b"v1", 4.0, 5.0),
+    ]
+    stale_report = check_history(stale)
+    return (ok_pass and not stale_report.ok), stale_report

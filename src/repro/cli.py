@@ -164,6 +164,7 @@ def cmd_chaos(args) -> int:
     seeds = list(range(args.seed, args.seed + args.sweep))
     rows = []
     failures = []
+    summary: "dict[str, dict]" = {}
     for name in names:
         for seed in seeds:
             runs = [run_scenario(name, seed)
@@ -187,6 +188,17 @@ def cmd_chaos(args) -> int:
             ])
             if not ok:
                 failures.append((name, seed, result, problems))
+            stats = summary.setdefault(name, {
+                "pass": 0, "fail": 0, "delivered": 0,
+                "lin": None, "first_problem": None})
+            stats["pass" if ok else "fail"] += 1
+            stats["delivered"] += sum(result.delivered.values())
+            if result.linearizability is not None:
+                lin_ok = (result.linearizability["ok"]
+                          and stats["lin"] in (None, "ok"))
+                stats["lin"] = "ok" if lin_ok else "VIOLATION"
+            if problems and stats["first_problem"] is None:
+                stats["first_problem"] = problems[0]
             if args.json:
                 payload = result.to_dict()
                 payload["replay_ok"] = replay_ok
@@ -196,6 +208,18 @@ def cmd_chaos(args) -> int:
         print(format_table(
             ["scenario", "seed", "status", "delivered", "log digest",
              "problems"], rows))
+        if len(names) > 1 or len(seeds) > 1:
+            summary_rows = [[
+                name,
+                f"{st['pass']}/{st['pass'] + st['fail']}",
+                str(st["delivered"]),
+                st["lin"] or "-",
+                st["first_problem"] or "-",
+            ] for name, st in summary.items()]
+            print()
+            print(format_table(
+                ["scenario", "passed", "delivered", "linearizable",
+                 "first problem"], summary_rows))
         if sanitizer is not None:
             print(sanitizer.report().splitlines()[0])
 

@@ -66,6 +66,7 @@ class GroupNode:
         timing: Optional[TimingModel] = None,
         membership_params: Optional[tuple] = None,
         metrics: Optional[MetricsRegistry] = None,
+        storage=None,
     ):
         self.sim = sim
         self.fabric = fabric
@@ -122,7 +123,14 @@ class GroupNode:
             if sg.persistent:
                 from .persistence import PersistenceEngine
 
-                engine = PersistenceEngine(mc, cols.persisted)
+                # The node's per-subgroup device (cluster stable
+                # storage, so the log survives epoch restarts); a
+                # standalone GroupNode gets a private device.
+                device = (storage.device(self.node_id,
+                                         f"sg{sg.subgroup_id}")
+                          if storage is not None else None)
+                engine = PersistenceEngine(mc, cols.persisted,
+                                           device=device)
                 self.persistence[sg.subgroup_id] = engine
                 self._delivery_callbacks[sg.subgroup_id].append(
                     engine.enqueue

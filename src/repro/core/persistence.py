@@ -20,6 +20,11 @@ Mechanics, mirroring Derecho's version-vector scheme on our SST:
 
 Delivery upcalls still happen at (volatile) delivery time; durability
 is reported separately, which is how Derecho exposes the two levels.
+
+The log itself lives on a :class:`~repro.storage.StorageDevice`
+(append-only, CRC-framed, explicit fsync — docs/DURABILITY.md):
+"durable" means *fsynced*, and injected storage faults (torn appends,
+fsync stalls, corruption) surface here and nowhere else.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from typing import Callable, Deque, List, Optional, Tuple
 from ..predicates.framework import Predicate
 from ..sim.sync import Doorbell
 from ..sim.units import gb_per_s, us
+from ..storage.device import StorageDevice, encode_log_entry
 from .multicast import Delivery, SubgroupMulticast
 
 __all__ = ["StorageModel", "PersistenceEngine"]
@@ -62,11 +68,19 @@ class PersistenceEngine:
     """One member's durability pipeline for one subgroup."""
 
     def __init__(self, mc: SubgroupMulticast, persisted_col: int,
-                 storage: Optional[StorageModel] = None):
+                 storage: Optional[StorageModel] = None,
+                 device: Optional[StorageDevice] = None):
         self.mc = mc
         self.sim = mc.sim
         self.persisted_col = persisted_col
-        self.storage = storage if storage is not None else StorageModel()
+        if device is not None:
+            self.device = device
+            self.storage = device.model
+        else:
+            self.storage = storage if storage is not None else StorageModel()
+            self.device = StorageDevice(
+                mc.sim, self.storage,
+                name=f"sg{mc.subgroup_id}", node_id=mc.node_id)
         #: (seq, sender, size, payload) awaiting the SSD.
         self._queue: Deque[Tuple[int, int, int, Optional[bytes]]] = deque()
         self._bell = Doorbell(self.sim, name=f"persist@{mc.node_id}")
@@ -126,7 +140,12 @@ class PersistenceEngine:
                     entry = self._queue.popleft()
                     batch.append(entry)
                     total += entry[2]
-                yield self.storage.append_time(total)
+                for seq, sender, size, payload in batch:
+                    self.device.write(encode_log_entry(seq, sender, payload),
+                                      billed=size)
+                # One fsync per batch: a single append_time(total) yield,
+                # after which (and only after which) the batch is durable.
+                yield from self.device.fsync()
                 for seq, sender, _size, payload in batch:
                     self.log.append((seq, sender, payload))
                 self.log_bytes += total
@@ -168,6 +187,14 @@ class PersistenceEngine:
         self.log = entries
         self.log_bytes = log_bytes
         self.adopted_entries = len(entries)
+        # Mirror the adopted log onto the device (idempotent when the
+        # device already holds it): per-record billing is not recorded
+        # across adoption, so the payload-length sum plus a billed base
+        # keeps billed_total == log_bytes exactly.
+        pairs = [(encode_log_entry(s, n, p), len(p) if p is not None else 0)
+                 for s, n, p in entries]
+        base = log_bytes - sum(b for _f, b in pairs)
+        self.device.rewrite(pairs, billed_base=base)
 
     @property
     def drained(self) -> bool:

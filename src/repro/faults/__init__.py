@@ -29,6 +29,7 @@ from .schedule import (
     PartitionEvent,
     SeverEvent,
     StallEvent,
+    StorageFaultEvent,
 )
 
 __all__ = [
@@ -39,6 +40,7 @@ __all__ = [
     "JitterEvent",
     "StallEvent",
     "CrashEvent",
+    "StorageFaultEvent",
     "ScenarioResult",
     "SCENARIOS",
     "run_scenario",

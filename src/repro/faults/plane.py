@@ -48,6 +48,7 @@ from .schedule import (
     PartitionEvent,
     SeverEvent,
     StallEvent,
+    StorageFaultEvent,
 )
 
 __all__ = ["FaultPlane"]
@@ -111,6 +112,7 @@ class FaultPlane:
         self.crashes = 0
         self.restarts = 0
         self.heals = 0
+        self.storage_faults = 0
         # -- metrics plane (docs/METRICS.md) ----------------------------------
         # Armed events are counted as they are scheduled; the injection
         # counters above are mirrored into the registry by a pull
@@ -218,6 +220,24 @@ class FaultPlane:
         self._arm(event)
         return event
 
+    def storage_fault(self, node: int, mode: str,
+                      at: Optional[float] = None,
+                      device: Optional[str] = None,
+                      until: Optional[float] = None,
+                      count: int = 1,
+                      record_index: int = 0) -> StorageFaultEvent:
+        """Arm a stable-storage failure mode on a node's device(s):
+        ``"torn-append"`` (next ``count`` crashes tear the un-fsynced
+        tail), ``"fsync-stall"`` (fsyncs held until ``until``), or
+        ``"corrupt-device"`` (flip a byte in durable record
+        ``record_index``) — docs/DURABILITY.md."""
+        event = StorageFaultEvent(
+            at=self._when(at), node=node, mode=mode, device=device,
+            until=until, count=count, record_index=record_index)
+        self.schedule.add(event)
+        self._arm(event)
+        return event
+
     # --------------------------------------------------------------- internals
 
     def _when(self, at: Optional[float]) -> float:
@@ -266,6 +286,8 @@ class FaultPlane:
             self._at(event.at, self._do_crash, event.node)
             if event.restart_at is not None:
                 self._at(event.restart_at, self._do_restart, event.node)
+        elif kind == "storage-fault":
+            self._at(event.at, self._do_storage_fault, event)
         else:  # pragma: no cover - schedule validation prevents this
             raise ValueError(f"unknown fault event kind {kind!r}")
 
@@ -350,6 +372,28 @@ class FaultPlane:
             self.cluster.fail_node(node)
             self.crashes += 1
 
+    def _do_storage_fault(self, event: StorageFaultEvent) -> None:
+        """Arm a storage failure mode on the node's device(s). Devices
+        for persistent subgroups / durable acceptors exist from
+        ``cluster.build()``; a *named* device is get-or-created so
+        arming order never matters."""
+        storage = getattr(self.cluster, "storage", None)
+        if storage is None:
+            return
+        if event.device is not None:
+            devices = [storage.device(event.node, event.device)]
+        else:
+            devices = storage.devices_of(event.node)
+        for dev in devices:
+            if event.mode == "torn-append":
+                dev.torn_crashes_armed += event.count
+            elif event.mode == "fsync-stall":
+                dev.fsync_stalled_until = max(dev.fsync_stalled_until,
+                                              event.until)
+            else:  # corrupt-device
+                dev.corrupt(event.record_index)
+        self.storage_faults += 1
+
     def _do_restart(self, node: int) -> None:
         rdma_node = self.fabric.nodes[node]
         if rdma_node.alive:
@@ -377,6 +421,7 @@ class FaultPlane:
             "crashes": self.crashes,
             "restarts": self.restarts,
             "heals": self.heals,
+            "storage_faults": self.storage_faults,
         }
 
     def _mirror_counters(self) -> None:

@@ -49,6 +49,9 @@ class ScenarioResult:
     views: Dict[int, List[Tuple[int, ...]]]
     schedule_json: str
     notes: List[str] = field(default_factory=list)
+    #: Black-box linearizability audit (repro.analysis.linearize), for
+    #: scenarios that drive a KV/shard workload; None when not audited.
+    linearizability: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return {
@@ -66,6 +69,7 @@ class ScenarioResult:
                       for k, v in self.views.items()},
             "schedule_json": self.schedule_json,
             "notes": self.notes,
+            "linearizability": self.linearizability,
         }
 
 
@@ -331,7 +335,7 @@ def scenario_crash_restart(seed: int) -> ScenarioResult:
 
 def _wire_kv_epochs(h: _Harness, stores: dict, *,
                     puts_per_writer: int, value_pad: int,
-                    writer_gap: float) -> None:
+                    writer_gap: float, recorder=None) -> None:
     """Attach a replicated KV store (apps.kvstore) to subgroup 0 of
     every member and spawn one epoch-tagged writer per member on every
     installed view (the initial view included).
@@ -354,7 +358,14 @@ def _wire_kv_epochs(h: _Harness, stores: dict, *,
                 key = b"k%d.%d.%d" % (view_id, nid, i)
                 value = (b"v%d.%d.%d" % (view_id, nid, i)).ljust(
                     value_pad, b".")
+                # History recording is passive (plain list appends, no
+                # sim events) — a wedge leaves the op pending, which is
+                # exactly what the auditor's semantics want.
+                op = (None if recorder is None else recorder.invoke(
+                    nid, "put", key, value, cluster.sim.now))
                 yield from store.put(key, value)
+                if op is not None:
+                    recorder.complete(op, cluster.sim.now)
                 yield writer_gap
         except RuntimeError:
             return  # epoch wedged mid-write: the view change wins
@@ -372,6 +383,44 @@ def _wire_kv_epochs(h: _Harness, stores: dict, *,
 
     cluster.on_view_installed.append(start_epoch)
     start_epoch(cluster.view)
+
+
+def _kv_final_reads(cluster, stores: dict, recorder) -> None:
+    """Synthetic end-of-run audit reads: observe every written key on
+    every replica, so replica state enters the recorded history (the
+    auditor can only judge what was observed). All reads share one
+    instant — concurrent with each other, but strictly after every
+    completed write."""
+    keys = sorted({op.key for op in recorder.history()
+                   if op.kind == "put"})
+    at = cluster.sim.now
+    live = set(cluster.live_nodes())
+    for nid in sorted(stores):
+        if nid not in live:
+            continue  # a corpse's store is legitimately stale
+        data = stores[nid].data
+        for key in keys:
+            recorder.record_read(1000 + nid, key, data.get(key), at)
+
+
+def _finish_audit(problems: List[str], notes: List[str],
+                  recorder) -> dict:
+    """Run the auditor's seeded-violation self-test, then the real
+    check; fold violations into the scenario verdict."""
+    from ..analysis.linearize import check_recorder, selftest
+
+    selftest_ok, _ = selftest()
+    if not selftest_ok:
+        problems.append("linearizability auditor failed its self-test")
+    report = check_recorder(recorder)
+    if not report.ok:
+        problems.extend(
+            f"linearizability: {v}" for v in report.violations[:5])
+    notes.append(
+        f"linearizability: {report.ops_checked} ops / "
+        f"{report.keys_checked} keys ({report.pending_ops} pending): "
+        f"{'ok' if report.ok else 'VIOLATION'}")
+    return report.to_dict()
 
 
 def _kv_rebuild_applier(stores: dict):
@@ -397,6 +446,7 @@ def scenario_crash_restart_rejoin(seed: int) -> ScenarioResult:
     sync) and installs view 2 with the node readmitted. The rejoiner's
     KV state must converge to a byte-identical checksum and the
     cross-view virtual-synchrony verifier must find zero violations."""
+    from ..analysis.linearize import HistoryRecorder
     from ..recovery import RecoveryConfig, TransferConfig, VsyncVerifier
 
     h = _Harness(4, seed, size=256, window=8, persistent=True,
@@ -405,8 +455,9 @@ def scenario_crash_restart_rejoin(seed: int) -> ScenarioResult:
     h.track_epochs()
     cluster = h.cluster
     stores: Dict[int, object] = {}
+    recorder = HistoryRecorder()
     _wire_kv_epochs(h, stores, puts_per_writer=12, value_pad=24,
-                    writer_gap=us(40))
+                    writer_gap=us(40), recorder=recorder)
     coord = cluster.enable_recovery(RecoveryConfig(
         transfer=TransferConfig(chunk_size=512, chunk_timeout=us(300),
                                 drop_chunks=frozenset({0}))))
@@ -472,7 +523,11 @@ def scenario_crash_restart_rejoin(seed: int) -> ScenarioResult:
                  f"{xfer.backoff_total * 1e6:.0f} us",
                  f"vsync: {vs.deliveries_checked} deliveries over "
                  f"{vs.epochs_checked} epochs"]
-    return h.result("crash-restart-rejoin", seed, problems, notes)
+    _kv_final_reads(cluster, stores, recorder)
+    lin = _finish_audit(problems, notes, recorder)
+    res = h.result("crash-restart-rejoin", seed, problems, notes)
+    res.linearizability = lin
+    return res
 
 
 def scenario_mid_transfer_source_crash(seed: int) -> ScenarioResult:
@@ -484,6 +539,7 @@ def scenario_mid_transfer_source_crash(seed: int) -> ScenarioResult:
     failure view change (view 2 excludes node 0) races the join cut.
     Node 4 must still rejoin, converge, and the verifier must hold
     across all three view transitions."""
+    from ..analysis.linearize import HistoryRecorder
     from ..recovery import RecoveryConfig, TransferConfig, VsyncVerifier
 
     h = _Harness(5, seed, size=256, window=8, persistent=True,
@@ -492,8 +548,9 @@ def scenario_mid_transfer_source_crash(seed: int) -> ScenarioResult:
     h.track_epochs()
     cluster = h.cluster
     stores: Dict[int, object] = {}
+    recorder = HistoryRecorder()
     _wire_kv_epochs(h, stores, puts_per_writer=18, value_pad=48,
-                    writer_gap=us(40))
+                    writer_gap=us(40), recorder=recorder)
     coord = cluster.enable_recovery(RecoveryConfig(
         transfer=TransferConfig(chunk_size=256, chunk_timeout=us(250),
                                 inter_chunk_gap=us(100))))
@@ -554,7 +611,158 @@ def scenario_mid_transfer_source_crash(seed: int) -> ScenarioResult:
                  f"{xfer.chunks} chunks after failover",
                  f"vsync: {vs.deliveries_checked} deliveries over "
                  f"{vs.epochs_checked} epochs"]
-    return h.result("mid-transfer-source-crash", seed, problems, notes)
+    _kv_final_reads(cluster, stores, recorder)
+    lin = _finish_audit(problems, notes, recorder)
+    res = h.result("mid-transfer-source-crash", seed, problems, notes)
+    res.linearizability = lin
+    return res
+
+
+# ===========================================================================
+# Durability-plane scenarios (docs/DURABILITY.md)
+# ===========================================================================
+
+
+def _durability_watermark(h: _Harness) -> List[int]:
+    """Track the highest acknowledged-durable sequence number:
+    ``on_durable`` fires only for entries fsynced on *every* member,
+    so ``acked[0]`` is exactly the prefix the power-loss zero-loss
+    contract covers."""
+    acked = [-1]
+    for nid in h.cluster.node_ids:
+        h.cluster.group(nid).on_durable(
+            0, lambda w: acked.__setitem__(0, max(acked[0], w)))
+    return acked
+
+
+def _check_power_loss_logs(h: _Harness, problems: List[str],
+                           acked_seq: int) -> None:
+    """Every member's recovered durable log must contain every
+    acknowledged seq, and all logs must be identical (post-adoption)."""
+    logs: Dict[int, list] = {}
+    for nid in h.cluster.node_ids:
+        entries, _log_bytes = h.cluster.durable_log(nid, 0)
+        logs[nid] = entries
+        seqs = {e[0] for e in entries}
+        missing = [s for s in range(acked_seq + 1) if s not in seqs]
+        if missing:
+            problems.append(
+                f"node {nid} lost acknowledged entries {missing[:5]} "
+                f"(acked through seq {acked_seq})")
+    first = h.cluster.node_ids[0]
+    for nid in h.cluster.node_ids[1:]:
+        if logs[nid] != logs[first]:
+            problems.append(f"recovered durable logs diverge: "
+                            f"node {first} vs node {nid}")
+
+
+def scenario_power_loss(seed: int) -> ScenarioResult:
+    """Whole-cluster power loss mid-stream: every node crash-stops in
+    the same instant (write caches die — un-fsynced tails are gone;
+    fsynced bytes survive), the lights come back, and storage-only
+    recovery (:func:`repro.recovery.recover_power_loss`) reopens every
+    device, reconciles longest-log-wins, and installs the successor
+    view. The contract: every entry whose durability watermark fired
+    (fsynced on ALL members) is in every recovered log — un-fsynced
+    tail entries may vanish, they were never acknowledged."""
+    from ..recovery import recover_power_loss
+
+    h = _Harness(4, seed, count=120, size=256, window=8, persistent=True)
+    h.track_epochs()
+    cluster = h.cluster
+    acked = _durability_watermark(h)
+    for nid in cluster.node_ids:
+        cluster.faults.crash(nid, at=us(500))
+    reports: List = []
+
+    def driver():
+        yield ms(2)
+        report = yield from recover_power_loss(cluster)
+        reports.append(report)
+
+    cluster.spawn_sender(driver(), name="powerloss-recovery")
+    cluster.run(until=ms(8))
+
+    problems: List[str] = []
+    if cluster.faults.counters()["crashes"] != 4:
+        problems.append("not every node crashed")
+    if not reports:
+        problems.append("power-loss recovery never completed")
+        return h.result("power-loss", seed, problems)
+    report = reports[0]
+    if not report.ok:
+        problems.extend(f"recovery: {p}" for p in report.problems[:5])
+    if acked[0] < 0:
+        problems.append("no durability watermark advanced before the "
+                        "crash (the run proves nothing)")
+    if cluster.view.view_id != 1:
+        problems.append(f"successor view not installed "
+                        f"(view_id={cluster.view.view_id})")
+    _check_power_loss_logs(h, problems, acked[0])
+    storage = cluster.storage.counters()
+    notes = [f"acked through seq {acked[0]}, adopted "
+             f"{report.adopted.get(0, 0)} entries (top seq "
+             f"{report.adopted_seq.get(0, -1)})",
+             f"lost un-fsynced records {storage['lost_tail_records']}, "
+             f"disk replay cost {report.read_cost * 1e6:.0f} us"]
+    return h.result("power-loss", seed, problems, notes)
+
+
+def scenario_torn_write(seed: int) -> ScenarioResult:
+    """Power loss with hostile storage: fsync completions stall
+    cluster-wide (writes pile up volatile), every device is armed to
+    *tear* on the crash (a partial frame reaches the platter), then the
+    whole cluster loses power mid-stream. Recovery's CRC scan must
+    truncate each torn tail, and the zero-acknowledged-loss contract
+    must still hold — the stall froze the durability watermark early,
+    so everything past it was never acknowledged and is legitimately
+    discardable."""
+    from ..recovery import recover_power_loss
+
+    h = _Harness(4, seed, count=120, size=256, window=8, persistent=True)
+    h.track_epochs()
+    cluster = h.cluster
+    acked = _durability_watermark(h)
+    for nid in cluster.node_ids:
+        cluster.faults.storage_fault(nid, "fsync-stall", at=us(600),
+                                     until=ms(1.5), device="sg0")
+        cluster.faults.storage_fault(nid, "torn-append", at=us(700),
+                                     device="sg0")
+        cluster.faults.crash(nid, at=ms(1))
+    reports: List = []
+
+    def driver():
+        yield ms(2)
+        report = yield from recover_power_loss(cluster)
+        reports.append(report)
+
+    cluster.spawn_sender(driver(), name="powerloss-recovery")
+    cluster.run(until=ms(8))
+
+    problems: List[str] = []
+    if not reports:
+        problems.append("power-loss recovery never completed")
+        return h.result("torn-write", seed, problems)
+    report = reports[0]
+    if not report.ok:
+        problems.extend(f"recovery: {p}" for p in report.problems[:5])
+    storage = cluster.storage.counters()
+    if storage["torn_writes"] < 1:
+        problems.append("no crash actually tore a tail (fault armed "
+                        "but no volatile frame was pending)")
+    if cluster.faults.counters()["storage_faults"] != 8:
+        problems.append(f"expected 8 storage faults armed, got "
+                        f"{cluster.faults.counters()['storage_faults']}")
+    if acked[0] < 0:
+        problems.append("no durability watermark advanced before the "
+                        "fsync stall")
+    _check_power_loss_logs(h, problems, acked[0])
+    notes = [f"torn tails {storage['torn_writes']}, records CRC-dropped "
+             f"at reopen {report.dropped_on_reopen}, lost un-fsynced "
+             f"{storage['lost_tail_records']}",
+             f"acked through seq {acked[0]}, adopted "
+             f"{report.adopted.get(0, 0)} entries"]
+    return h.result("torn-write", seed, problems, notes)
 
 
 # ===========================================================================
@@ -574,14 +782,19 @@ class _PaxosHarness(_Harness):
 
     def __init__(self, num_nodes: int, seed: int, *, count: int,
                  senders: Optional[List[int]] = None, size: int = 512,
-                 window: int = 8, send_gap: float = 0.0):
+                 window: int = 8, send_gap: float = 0.0,
+                 paxos_config=None):
         from ..analysis.trace import Tracer
         from ..core.config import SpindleConfig
         from ..workloads import Cluster, continuous_sender
 
+        backend = "paxos"
+        if paxos_config is not None:
+            from ..ordering.paxos import PaxosBackend
+            backend = PaxosBackend(paxos_config)
         self.cluster = Cluster(num_nodes=num_nodes,
                                config=SpindleConfig.optimized(), seed=seed,
-                               backend="paxos")
+                               backend=backend)
         sender_ids = senders if senders is not None else self.cluster.node_ids
         self.cluster.add_subgroup(senders=sender_ids, message_size=size,
                                   window=window)
@@ -694,6 +907,63 @@ def scenario_paxos_crash_restart_rejoin(seed: int) -> ScenarioResult:
     notes = [f"restarted node caught up {len(h.logs[0])} entries, "
              f"commit watermark {h.cluster.mc(0, 0).commit_upto}"]
     return h.result("paxos-crash-restart-rejoin", seed, problems, notes)
+
+
+def scenario_power_loss_paxos(seed: int) -> ScenarioResult:
+    """Whole-cluster power loss under the Multi-Paxos backend with
+    durable acceptors (docs/ORDERING.md): the workload commits, every
+    node crashes in the same window, and each restarts from its
+    promise/accept WAL. The ordinary election + learn-from-zero path
+    must reconstruct every committed entry — no recovery coordinator,
+    no view change: a majority of durable accepts IS the truth, and
+    every pre-crash delivery is an acknowledged write whose loss fails
+    the scenario."""
+    from ..ordering.paxos import PaxosConfig
+
+    h = _PaxosHarness(3, seed, count=20, size=256, send_gap=us(30),
+                      paxos_config=PaxosConfig(durable_acceptors=True))
+    cluster = h.cluster
+    pre_crash: Dict[int, List[tuple]] = {}
+
+    def snapshot():
+        yield ms(2) - us(1)
+        for nid in cluster.node_ids:
+            pre_crash[nid] = list(h.logs[nid])
+
+    cluster.spawn_sender(snapshot(), name="pre-crash-snapshot")
+    for i, nid in enumerate(cluster.node_ids):
+        cluster.faults.crash(nid, at=ms(2) + i * us(1),
+                             restart_at=ms(3) + i * us(10))
+    h.run(until=ms(40))
+
+    problems: List[str] = []
+    counters = cluster.faults.counters()
+    if counters["restarts"] != 3:
+        problems.append(f"expected 3 restarts, got {counters['restarts']}")
+    acked = set()
+    for log in pre_crash.values():
+        acked |= {(seq, sender) for seq, sender, _size in log}
+    if not acked:
+        problems.append("nothing was delivered before the outage")
+    for nid in cluster.node_ids:
+        have = {(seq, sender) for seq, sender, _size in h.logs[nid]}
+        lost = acked - have
+        if lost:
+            problems.append(f"node {nid} lost {len(lost)} acknowledged "
+                            f"entries after power loss "
+                            f"(first: {sorted(lost)[:3]})")
+    h.check_all_delivered(problems, expected=20 * 3)
+    h.check_logs_identical(problems, list(cluster.node_ids))
+    for nid in cluster.node_ids:
+        if cluster.mc(nid, 0).incarnation < 1:
+            problems.append(f"node {nid} did not bump its incarnation "
+                            f"on WAL recovery")
+    wal = cluster.storage.counters()
+    notes = [f"pre-crash acked {len(acked)} distinct entries, final "
+             f"log {len(h.logs[cluster.node_ids[0]])} entries per node",
+             f"WAL fsyncs {wal['fsyncs']}, lost un-fsynced records "
+             f"{wal['lost_tail_records']}"]
+    return h.result("power-loss-paxos", seed, problems, notes)
 
 
 # ===========================================================================
@@ -810,17 +1080,29 @@ class _ShardHarness(_Harness):
 
 def _shard_clients(h: _ShardHarness, router, expected: Dict[bytes, bytes],
                    outcomes: List, *, clients: int, puts_per_client: int,
-                   gap: float, value_pad: int = 24) -> None:
+                   gap: float, value_pad: int = 24, recorder=None) -> None:
     """Spawn ``clients`` deterministic sequential writers against the
     router. Unlike raw subgroup senders these are *service* clients:
     rejections/timeouts surface as outcomes, and view changes are
     absorbed by the router's idempotent replay — so the client bodies
     never see a wedge RuntimeError."""
+    sim = h.cluster.sim
+
     def client(c: int):
         for i in range(puts_per_client):
             key = b"c%d.k%d" % (c, i)
             value = (b"v%d.%d" % (c, i)).ljust(value_pad, b".")
+            op = (None if recorder is None else recorder.invoke(
+                c, "put", key, value, sim.now))
             outcome = yield from router.request("put", key, value)
+            if op is not None:
+                if outcome.status == "ok":
+                    recorder.complete(op, sim.now)
+                elif outcome.status == "rejected":
+                    # Admission control refused it — the write never
+                    # entered any log, so it has no history slot.
+                    recorder.drop(op)
+                # "timeout": pending — the effect may or may not land.
             outcomes.append((c, i, outcome.status, outcome.attempts,
                              outcome.shard))
             if outcome.status == "ok":
@@ -829,6 +1111,29 @@ def _shard_clients(h: _ShardHarness, router, expected: Dict[bytes, bytes],
 
     for c in range(clients):
         h.cluster.spawn_sender(client(c), name=f"shard-client-{c}")
+
+
+def _shard_final_reads(h: _ShardHarness, router, recorder) -> None:
+    """Synthetic end-of-run audit reads of every written key on every
+    live replica of the subgroup the key's shard maps to."""
+    keys = sorted({op.key for op in recorder.history()
+                   if op.kind == "put"})
+    live = set(h.cluster.live_nodes())
+    specs = {sg.subgroup_id: sg for sg in h.cluster.view.subgroups}
+    at = h.cluster.sim.now
+    for key in keys:
+        sg = router.map.subgroup_of_key(key)
+        spec = specs.get(sg)
+        if spec is None:
+            continue
+        for nid in spec.members:
+            if nid not in live:
+                continue
+            replica = router.service.replicas.get((sg, nid))
+            if replica is None:
+                continue
+            recorder.record_read(1000 + nid, key,
+                                 replica.data.get(key), at)
 
 
 def scenario_shard_failover(seed: int) -> ScenarioResult:
@@ -842,6 +1147,7 @@ def scenario_shard_failover(seed: int) -> ScenarioResult:
     replays exactly-once even when the original committed pre-wedge),
     so that **every client request still completes "ok"** and the
     cross-shard verifier finds zero violations."""
+    from ..analysis.linearize import HistoryRecorder
     from ..shard import RouterConfig
 
     h = _ShardHarness(6, seed, num_shards=4, replication=3,
@@ -855,8 +1161,10 @@ def scenario_shard_failover(seed: int) -> ScenarioResult:
 
     expected: Dict[bytes, bytes] = {}
     outcomes: List[tuple] = []
+    recorder = HistoryRecorder()
     _shard_clients(h, router, expected, outcomes,
-                   clients=4, puts_per_client=20, gap=us(50))
+                   clients=4, puts_per_client=20, gap=us(50),
+                   recorder=recorder)
 
     cluster.faults.crash(0, at=us(400))
     cluster.run(until=ms(40))
@@ -890,7 +1198,11 @@ def scenario_shard_failover(seed: int) -> ScenarioResult:
              f"duplicates {sum(r.duplicates_skipped for r in router.service.replicas.values())}",
              f"audit: {audit.shards_checked} shards, "
              f"{audit.keys_checked} keys checked"]
-    return h.result("shard-failover", seed, problems, notes)
+    _shard_final_reads(h, router, recorder)
+    lin = _finish_audit(problems, notes, recorder)
+    res = h.result("shard-failover", seed, problems, notes)
+    res.linearizability = lin
+    return res
 
 
 def scenario_rebalance_under_load(seed: int) -> ScenarioResult:
@@ -902,6 +1214,8 @@ def scenario_rebalance_under_load(seed: int) -> ScenarioResult:
     agreement, map flip, source delete — docs/SHARDING.md) must commit
     with zero data loss: every client write lands "ok", queued requests
     re-route to the target, and the cross-shard verifier agrees."""
+    from ..analysis.linearize import HistoryRecorder
+
     h = _ShardHarness(6, seed, num_shards=6, replication=2,
                       num_subgroups=3, window=8)
     cluster = h.cluster
@@ -913,8 +1227,10 @@ def scenario_rebalance_under_load(seed: int) -> ScenarioResult:
 
     expected: Dict[bytes, bytes] = {}
     outcomes: List[tuple] = []
+    recorder = HistoryRecorder()
     _shard_clients(h, router, expected, outcomes,
-                   clients=3, puts_per_client=40, gap=us(80))
+                   clients=3, puts_per_client=40, gap=us(80),
+                   recorder=recorder)
 
     records: List = []
 
@@ -978,7 +1294,11 @@ def scenario_rebalance_under_load(seed: int) -> ScenarioResult:
                  f"{dict(router.counters.rejected)}",
                  f"audit: {audit.keys_checked} keys on "
                  f"{audit.replicas_checked} replicas"]
-    return h.result("rebalance-under-load", seed, problems, notes)
+    _shard_final_reads(h, router, recorder)
+    lin = _finish_audit(problems, notes, recorder)
+    res = h.result("rebalance-under-load", seed, problems, notes)
+    res.linearizability = lin
+    return res
 
 
 #: name -> scenario function. Ordering is the CLI's ``--all`` ordering.
@@ -991,9 +1311,12 @@ SCENARIOS: Dict[str, Callable[[int], ScenarioResult]] = {
     "crash-restart": scenario_crash_restart,
     "crash-restart-rejoin": scenario_crash_restart_rejoin,
     "mid-transfer-source-crash": scenario_mid_transfer_source_crash,
+    "power-loss": scenario_power_loss,
+    "torn-write": scenario_torn_write,
     "paxos-leader-crash": scenario_paxos_leader_crash,
     "paxos-partition-heal": scenario_paxos_partition_heal,
     "paxos-crash-restart-rejoin": scenario_paxos_crash_restart_rejoin,
+    "power-loss-paxos": scenario_power_loss_paxos,
     "shard-failover": scenario_shard_failover,
     "rebalance-under-load": scenario_rebalance_under_load,
 }

@@ -19,7 +19,9 @@ Schema (version 1)::
        "jitter": 5e-6, "loss": 0.0, "links": [[0, 1]]},
       {"kind": "stall", "at": 1e-3, "node": 2, "duration": 3e-4,
        "scope": "node"},
-      {"kind": "crash", "at": 1e-3, "node": 3, "restart_at": 5e-3}
+      {"kind": "crash", "at": 1e-3, "node": 3, "restart_at": 5e-3},
+      {"kind": "storage-fault", "at": 1e-3, "node": 3,
+       "mode": "torn-append", "device": "sg0", "count": 1}
     ]}
 
 ``mode`` for cuts: ``"buffer"`` (default) models RC retransmit across a
@@ -42,6 +44,7 @@ __all__ = [
     "JitterEvent",
     "StallEvent",
     "CrashEvent",
+    "StorageFaultEvent",
     "SCHEMA_VERSION",
 ]
 
@@ -201,12 +204,59 @@ class CrashEvent:
             raise ValueError("restart_at must be after at")
 
 
+#: Storage fault modes (docs/DURABILITY.md): ``torn-append`` arms the
+#: node's devices so crashes tear (partially persist) the un-fsynced
+#: tail; ``fsync-stall`` holds fsync completions until ``until``;
+#: ``corrupt-device`` flips a byte in durable record ``record_index``
+#: so reopen CRC-truncates the device there.
+STORAGE_FAULT_MODES = ("torn-append", "fsync-stall", "corrupt-device")
+
+
+@dataclass(frozen=True)
+class StorageFaultEvent:
+    """Inject a stable-storage failure mode on one node at ``at``.
+
+    ``device`` restricts the fault to one named device (e.g. ``"sg0"``
+    or ``"paxos0"``); None hits every device the node owns. Faults
+    never change timing or contents on their own — they arm the device,
+    and the damage manifests through the normal write/fsync/crash/
+    reopen paths (docs/DURABILITY.md)."""
+
+    at: float
+    node: int
+    mode: str
+    device: Optional[str] = None
+    #: fsync-stall only: completions held until this simulated instant.
+    until: Optional[float] = None
+    #: torn-append only: how many subsequent crashes tear (default 1).
+    count: int = 1
+    #: corrupt-device only: which durable record to corrupt.
+    record_index: int = 0
+    kind: str = field(default="storage-fault", init=False)
+
+    def __post_init__(self):
+        _check_time("at", self.at)
+        if self.mode not in STORAGE_FAULT_MODES:
+            raise ValueError(f"unknown storage fault mode {self.mode!r}")
+        if self.mode == "fsync-stall":
+            if self.until is None:
+                raise ValueError("fsync-stall needs an until instant")
+            _check_time("until", self.until)
+            if self.until <= self.at:
+                raise ValueError("until must be after at")
+        if self.count < 1:
+            raise ValueError("count must be positive")
+        if self.record_index < 0:
+            raise ValueError("record_index must be non-negative")
+
+
 _EVENT_TYPES = {
     "partition": PartitionEvent,
     "sever": SeverEvent,
     "jitter": JitterEvent,
     "stall": StallEvent,
     "crash": CrashEvent,
+    "storage-fault": StorageFaultEvent,
 }
 
 FaultEvent = Any  # union of the five event dataclasses (3.9-compatible alias)

@@ -35,15 +35,23 @@ Determinism: all timers run on the simulation clock and all randomness
 seed, node, subgroup)``, so a seeded run — including its trace
 fingerprint — is exactly reproducible (tests/test_chaos_determinism.py).
 
-Known simplification: acceptor state is volatile (the simulator's
-crash-recovery model); a restarted acceptor rejoins as a learner first,
-which is safe for the single-failure chaos catalog but would need
-durable promises for arbitrary simultaneous-failure patterns.
+Durability: with ``PaxosConfig(durable_acceptors=True)`` every promise
+and accept is written ahead to a per-endpoint
+:class:`~repro.storage.StorageDevice` WAL and fsynced *before* the
+corresponding P1B/P2B/P2A leaves the node, and a restarted acceptor
+recovers ``(promised, accepted)`` from its WAL instead of rejoining as
+a learner-from-zero. That closes the classical safety gap under
+arbitrary simultaneous failures — including whole-cluster power loss:
+any committed instance has durable accepts on a majority, so every
+later phase-1 quorum intersects one and re-proposes the chosen value
+(docs/DURABILITY.md). The flag defaults to off, which preserves the
+volatile acceptor's event timing (and trace fingerprints) exactly.
 """
 
 from __future__ import annotations
 
 import random
+import struct
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Optional, Set, Tuple
@@ -60,6 +68,52 @@ __all__ = ["PaxosConfig", "PaxosEndpoint", "PaxosGroup", "PaxosBackend"]
 
 #: entry = (origin, incarnation, oseq, size, payload, queued_at, noop)
 _NOOP = (0, 0, 0, 0, None, 0.0, True)
+
+# ---------------------------------------------------------------------------
+# Acceptor WAL codec (durable_acceptors mode; docs/DURABILITY.md)
+# ---------------------------------------------------------------------------
+
+_WAL_PROMISE, _WAL_ACCEPT, _WAL_INC = 1, 2, 3
+_WAL_HDR = struct.Struct("<Bqq")            # (type, a, b)
+_WAL_ENTRY = struct.Struct("<iiiidBi")      # origin, inc, oseq, size,
+                                            # queued_at, noop, payload_len|-1
+
+
+def _wal_promise(ballot: int) -> bytes:
+    return _WAL_HDR.pack(_WAL_PROMISE, ballot, 0)
+
+
+def _wal_incarnation(incarnation: int) -> bytes:
+    return _WAL_HDR.pack(_WAL_INC, incarnation, 0)
+
+
+def _wal_accept(inst: int, ballot: int, entry: tuple) -> bytes:
+    origin, inc, oseq, size, payload, queued_at, noop = entry
+    return (_WAL_HDR.pack(_WAL_ACCEPT, inst, ballot)
+            + _WAL_ENTRY.pack(origin, inc, oseq, size, queued_at,
+                              1 if noop else 0,
+                              -1 if payload is None else len(payload))
+            + (payload or b""))
+
+
+def _wal_decode(body: bytes) -> tuple:
+    kind, a, b = _WAL_HDR.unpack_from(body, 0)
+    if kind == _WAL_PROMISE:
+        return ("prom", a)
+    if kind == _WAL_INC:
+        return ("inc", a)
+    if kind != _WAL_ACCEPT:
+        raise ValueError(f"unknown WAL record type {kind}")
+    origin, inc, oseq, size, queued_at, noop, plen = _WAL_ENTRY.unpack_from(
+        body, _WAL_HDR.size)
+    payload: Optional[bytes] = None
+    if plen >= 0:
+        off = _WAL_HDR.size + _WAL_ENTRY.size
+        payload = body[off:off + plen]
+        if len(payload) != plen:
+            raise ValueError("truncated WAL accept payload")
+    entry = (origin, inc, oseq, size, payload, queued_at, bool(noop))
+    return ("acc", a, b, entry)
 
 
 @dataclass(frozen=True)
@@ -94,6 +148,11 @@ class PaxosConfig:
     mailbox_bytes: int = 128 * 1024
     #: CPU cost of handling one protocol message.
     handle_cost: float = us(0.3)
+    #: Write-ahead acceptor state (promises + accepts) to a per-node
+    #: storage device and recover it on restart. Off by default: the
+    #: volatile acceptor's event schedule — and therefore existing
+    #: trace fingerprints — is preserved exactly (docs/DURABILITY.md).
+    durable_acceptors: bool = False
 
 
 class PaxosEndpoint(OrderingEndpoint):
@@ -106,7 +165,7 @@ class PaxosEndpoint(OrderingEndpoint):
                  window: int, config: PaxosConfig, timing: TimingModel,
                  deliver_cb=None, stats: Optional[SubgroupStats] = None,
                  seed: int = 0, delivery_mode: str = "atomic",
-                 node_id: Optional[int] = None):
+                 node_id: Optional[int] = None, device=None):
         if delivery_mode != "atomic":
             raise ValueError("the paxos backend supports atomic delivery only")
         self.delivery_mode = "atomic"
@@ -137,6 +196,9 @@ class PaxosEndpoint(OrderingEndpoint):
                                             f".pump@{node_id}")
         self.slot_doorbell = Doorbell(sim, name=f"paxos{subgroup_id}"
                                                 f".slots@{node_id}")
+        #: Acceptor WAL (durable_acceptors mode); None keeps the
+        #: classical volatile acceptor.
+        self.device = device
         self.incarnation = 0
         self._procs: List[Any] = []
         self._reset_state()
@@ -147,6 +209,9 @@ class PaxosEndpoint(OrderingEndpoint):
         """(Re)initialize all volatile protocol state (fresh start or
         crash-recovery restart)."""
         self._inbox: Deque[Tuple[int, tuple]] = deque()
+        #: True when WAL records await an fsync barrier (the pump and
+        #: ticker flush before posting any message that depends on them).
+        self._wal_dirty = False
         # -- ballots & roles --------------------------------------------------
         self.ballot = 0                      # highest ballot in effect
         self.promised = 0                    # highest ballot promised
@@ -203,16 +268,73 @@ class PaxosEndpoint(OrderingEndpoint):
     def restart(self) -> None:
         """Crash-recovery rejoin: volatile state is gone; come back as a
         follower under a fresh proposer incarnation and re-learn the
-        chosen log from scratch (LEARN_REQ from instance 0)."""
+        chosen log from scratch (LEARN_REQ from instance 0).
+
+        With a WAL device (``durable_acceptors``), the acceptor half is
+        *not* gone: ``(promised, accepted)`` is recovered from the
+        fsynced WAL first, so this node still counts toward the quorum
+        intersection that protects previously chosen instances — the
+        property whole-cluster power-loss recovery rests on."""
         self.stop()
         incarnation = self.incarnation + 1
         self._reset_state()
+        if self.device is not None:
+            recovered_inc = self._recover_wal()
+            incarnation = max(incarnation, recovered_inc + 1)
+            self.device.write(_wal_incarnation(incarnation))
+            self._wal_dirty = True
         self.incarnation = incarnation
         self.is_leader = False       # never self-appoint on rejoin
         self.start()
         out = [(self.members[r], ("learnreq", self.my_member_rank, 0))
                for r in range(self.M) if r != self.my_member_rank]
         self._emit(out)
+
+    def _recover_wal(self) -> int:
+        """Replay the acceptor WAL (called from ``restart`` with fresh
+        volatile state): rebuild ``promised`` and the accepted map,
+        return the highest durably recorded incarnation. ``reopen``
+        CRC-truncates any torn tail, so a record torn by the crash is
+        simply absent — exactly an append that never happened."""
+        recovered_inc = 0
+        for body in self.device.reopen():
+            record = _wal_decode(body)
+            if record[0] == "prom":
+                self.promised = max(self.promised, record[1])
+            elif record[0] == "acc":
+                _kind, inst, ballot, entry = record
+                current = self.accepted.get(inst)
+                if current is None or ballot >= current[0]:
+                    self.accepted[inst] = (ballot, entry)
+            else:
+                recovered_inc = max(recovered_inc, record[1])
+        return recovered_inc
+
+    # ------------------------------------------------- durable acceptor state
+
+    def _set_promised(self, ballot: int) -> None:
+        """Raise the promise floor, write-ahead when durable. Callers
+        flush the WAL before any message conditioned on the promise
+        leaves the node (the pump/ticker fsync barrier)."""
+        if ballot > self.promised:
+            self.promised = ballot
+            if self.device is not None:
+                self.device.write(_wal_promise(ballot))
+                self._wal_dirty = True
+
+    def _record_accept(self, inst: int, ballot: int, entry: tuple) -> None:
+        """Accept a value, write-ahead when durable (flushed before the
+        acknowledging P2B / the leader's own P2A is posted)."""
+        self.accepted[inst] = (ballot, entry)
+        if self.device is not None:
+            self.device.write(_wal_accept(inst, ballot, entry))
+            self._wal_dirty = True
+
+    def _wal_sync(self):
+        """Fsync barrier: every WAL record written so far is durable
+        when this generator completes."""
+        self._wal_dirty = False
+        yield from self.device.fsync()
 
     def teardown(self) -> None:
         self.stop()
@@ -290,10 +412,16 @@ class PaxosEndpoint(OrderingEndpoint):
                 if self._pending_upcalls:
                     yield self._pending_upcalls * self.timing.delivery_upcall
                     self._pending_upcalls = 0
+                if self._wal_dirty:
+                    # Write-ahead barrier: promises/accepts must be
+                    # durable before the P1B/P2B they condition leaves.
+                    yield from self._wal_sync()
                 yield from self._post_all(out)
             batch_out = self._leader_assign()
             if batch_out:
                 progressed = True
+                if self._wal_dirty:
+                    yield from self._wal_sync()  # leader's self-accepts
                 yield from self._post_all(batch_out)
             if not progressed and not self._inbox:
                 yield self._doorbell.wait()
@@ -304,6 +432,8 @@ class PaxosEndpoint(OrderingEndpoint):
         yield self.cfg.tick_period * (self.my_member_rank + 1) / (self.M + 1)
         while True:
             out = self._on_tick()
+            if self._wal_dirty:
+                yield from self._wal_sync()  # election-start promises
             yield from self._post_all(out)
             yield self.cfg.tick_period
 
@@ -398,7 +528,7 @@ class PaxosEndpoint(OrderingEndpoint):
         return [(dst, message) for dst in self._others()]
 
     def _self_accept(self, inst: int, entry: tuple) -> None:
-        self.accepted[inst] = (self.ballot, entry)
+        self._record_accept(inst, self.ballot, entry)
         self._p2b_acks[inst] = {self.my_member_rank}
         self._unacked[inst] = [entry, self.sim.now]
         if self._majority() == 1:
@@ -411,7 +541,7 @@ class PaxosEndpoint(OrderingEndpoint):
         self._observe_ballot(ballot)
         self.last_leader_heard = self.sim.now
         for inst, entry in batch:
-            self.accepted[inst] = (ballot, entry)
+            self._record_accept(inst, ballot, entry)
         out = [(src, ("p2b", ballot, self.my_member_rank,
                       tuple(inst for inst, _e in batch)))]
         out.extend(self._advance_commit(commit_upto, ballot))
@@ -494,7 +624,7 @@ class PaxosEndpoint(OrderingEndpoint):
     def _start_election(self) -> List[Tuple[int, tuple]]:
         ballot = self._next_ballot()
         self._electing = ballot
-        self.promised = ballot
+        self._set_promised(ballot)
         self._election_attempts += 1
         self.last_leader_heard = self.sim.now
         self._p1b_from = {self.my_member_rank}
@@ -510,7 +640,7 @@ class PaxosEndpoint(OrderingEndpoint):
         _kind, ballot, peer_upto = message
         if ballot <= self.promised:
             return []
-        self.promised = ballot
+        self._set_promised(ballot)
         if self.is_leader and ballot > self.ballot:
             self.is_leader = False
         self.last_leader_heard = self.sim.now  # damp dueling elections
@@ -548,7 +678,7 @@ class PaxosEndpoint(OrderingEndpoint):
 
     def _become_leader(self) -> List[Tuple[int, tuple]]:
         self.ballot = self._electing
-        self.promised = max(self.promised, self.ballot)
+        self._set_promised(self.ballot)
         self._electing = None
         self._election_attempts = 0
         self.is_leader = True
@@ -591,7 +721,7 @@ class PaxosEndpoint(OrderingEndpoint):
     def _observe_ballot(self, ballot: int) -> None:
         if ballot > self.ballot:
             self.ballot = ballot
-            self.promised = max(self.promised, ballot)
+            self._set_promised(ballot)
             self.is_leader = False
             self._electing = None
 
@@ -733,7 +863,8 @@ class PaxosGroup:
     """
 
     def __init__(self, sim, fabric, rdma_node, view, config: PaxosConfig,
-                 timing: TimingModel, metrics=None, seed: int = 0):
+                 timing: TimingModel, metrics=None, seed: int = 0,
+                 storage=None):
         from ..metrics.registry import null_registry
 
         self.sim = sim
@@ -752,6 +883,11 @@ class PaxosGroup:
         for sg in view.subgroups:
             if self.node_id not in sg.members:
                 continue
+            # The acceptor WAL lives on cluster stable storage so it
+            # survives crashes and epoch restarts (durable mode only).
+            device = (storage.device(self.node_id, f"paxos{sg.subgroup_id}")
+                      if config.durable_acceptors and storage is not None
+                      else None)
             self.multicasts[sg.subgroup_id] = PaxosEndpoint(
                 sim, fabric, sg.subgroup_id, sg.members, sg.senders,
                 window=sg.window, config=config, timing=timing,
@@ -759,7 +895,7 @@ class PaxosGroup:
                 stats=SubgroupStats(registry=scope, node=self.node_id,
                                     subgroup=sg.subgroup_id),
                 seed=seed, delivery_mode=sg.delivery_mode,
-                node_id=self.node_id)
+                node_id=self.node_id, device=device)
             self._delivery_callbacks[sg.subgroup_id] = []
 
     def _make_dispatcher(self, subgroup_id: int):
@@ -828,7 +964,7 @@ class PaxosBackend(OrderingBackend):
             groups[node_id] = PaxosGroup(
                 cluster.sim, cluster.fabric, cluster.fabric.nodes[node_id],
                 view, self.config, cluster.timing, metrics=cluster.metrics,
-                seed=cluster.seed)
+                seed=cluster.seed, storage=cluster.storage)
         for sg in view.subgroups:
             wire_transports({
                 node_id: groups[node_id].multicasts[sg.subgroup_id].transport

@@ -13,6 +13,9 @@ Modules:
 * :mod:`repro.recovery.verify` — the cross-view virtual-synchrony
   safety verifier (atomicity, total order, gap-freedom, trim
   conformance).
+* :mod:`repro.recovery.powerloss` — whole-cluster power-loss recovery:
+  every node restarts from its durable devices, logs reconcile
+  longest-log-wins (docs/DURABILITY.md).
 
 Exports resolve lazily (PEP 562) so that :mod:`repro.core` modules can
 import :mod:`repro.recovery.trim` — which is dependency-free — without
@@ -35,6 +38,8 @@ __all__ = [
     "RecoveryCoordinator",
     "VsyncVerifier",
     "VsyncReport",
+    "PowerLossReport",
+    "recover_power_loss",
 ]
 
 _HOMES = {
@@ -51,10 +56,13 @@ _HOMES = {
     "RecoveryCoordinator": "coordinator",
     "VsyncVerifier": "verify",
     "VsyncReport": "verify",
+    "PowerLossReport": "powerloss",
+    "recover_power_loss": "powerloss",
 }
 
 if TYPE_CHECKING:  # pragma: no cover - typing aid only
     from .coordinator import NodeRecovery, RecoveryConfig, RecoveryCoordinator
+    from .powerloss import PowerLossReport, recover_power_loss
     from .transfer import (StateTransfer, TransferConfig, TransferOutcome,
                            decode_entries, encode_entries)
     from .trim import TrimDecision, TrimLedger, compute_trim

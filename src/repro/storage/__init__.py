@@ -1,0 +1,25 @@
+"""Simulated stable storage: per-node append-only devices.
+
+The durability plane's ground truth. Every byte a protocol calls
+"durable" lives on a :class:`StorageDevice` — an append-only, CRC-framed
+device with explicit ``write``/``fsync`` semantics on the simulation
+clock (timing from :class:`~repro.core.persistence.StorageModel`).
+Writes are volatile until fsynced; a crash drops (or tears) the
+un-fsynced tail; reopen CRC-scans the image and truncates at the first
+invalid record. Fault modes (torn appends, fsync stalls, device
+corruption) are armed by :mod:`repro.faults` — see docs/DURABILITY.md.
+"""
+
+from .device import (
+    ClusterStorage,
+    StorageDevice,
+    decode_log_entry,
+    encode_log_entry,
+)
+
+__all__ = [
+    "ClusterStorage",
+    "StorageDevice",
+    "decode_log_entry",
+    "encode_log_entry",
+]

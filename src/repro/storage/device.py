@@ -1,0 +1,343 @@
+"""Append-only simulated storage devices with explicit fsync semantics.
+
+A :class:`StorageDevice` models one append-only file on one node's SSD:
+
+* :meth:`write` frames a record (``[len][billed][crc32]`` header + body)
+  into the device's *volatile* tail at zero simulated cost — the bytes
+  sit in the OS/device write cache.
+* :meth:`fsync` is a simulated-process generator that charges the
+  :class:`~repro.core.persistence.StorageModel` append time for the
+  pending billed bytes (one yield), then moves the tail into the
+  durable image. Only fsynced bytes survive a crash.
+* :meth:`crash` drops the un-fsynced tail. If a *torn-append* fault is
+  armed, a partial prefix of the first pending frame lands on the image
+  instead — the classic torn write, detected by CRC on reopen.
+* :meth:`reopen` CRC-scans the image from the start and truncates at
+  the first invalid record (torn tail or injected corruption), exactly
+  like a journal replay after power loss.
+
+``billed`` decouples accounting from encoding: the persistence engine
+bills a delivery's wire *size* (payloads may be ``None`` for
+timing-only runs), and recovery's replay cost is charged on billed
+bytes (docs/RECOVERY.md), so the device carries it per record.
+
+:class:`ClusterStorage` is the per-cluster registry keyed
+``(node_id, name)``; devices persist across epoch restarts and node
+crashes — that persistence *is* the durability story
+(docs/DURABILITY.md).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+from zlib import crc32
+
+__all__ = ["StorageDevice", "ClusterStorage",
+           "encode_log_entry", "decode_log_entry"]
+
+_FRAME_HDR = struct.Struct("<III")  # (body_len, billed, crc32)
+_LOG_HDR = struct.Struct("<qii")    # (seq, sender, payload_len | -1)
+
+
+# ---------------------------------------------------------------------------
+# Durable-log record codec (what PersistenceEngine stores per delivery)
+# ---------------------------------------------------------------------------
+
+
+def encode_log_entry(seq: int, sender: int,
+                     payload: Optional[bytes]) -> bytes:
+    """Encode one durable-log entry. ``payload`` may be ``None``
+    (timing-only deliveries) — encoded as length ``-1``, distinct from
+    an empty payload."""
+    if payload is None:
+        return _LOG_HDR.pack(seq, sender, -1)
+    return _LOG_HDR.pack(seq, sender, len(payload)) + payload
+
+
+def decode_log_entry(data: bytes) -> Tuple[int, int, Optional[bytes]]:
+    """Inverse of :func:`encode_log_entry`."""
+    seq, sender, plen = _LOG_HDR.unpack_from(data, 0)
+    if plen < 0:
+        return seq, sender, None
+    body = bytes(data[_LOG_HDR.size:_LOG_HDR.size + plen])
+    if len(body) != plen:
+        raise ValueError("truncated log entry body")
+    return seq, sender, body
+
+
+# ---------------------------------------------------------------------------
+# The device
+# ---------------------------------------------------------------------------
+
+
+class StorageDevice:
+    """One append-only device image plus its volatile write cache."""
+
+    def __init__(self, sim, model, name: str = "dev", node_id: int = -1):
+        self.sim = sim
+        self.model = model
+        self.name = name
+        self.node_id = node_id
+        #: Durable bytes (CRC-framed records, possibly with a torn or
+        #: corrupted suffix awaiting :meth:`reopen`).
+        self._image = bytearray()
+        #: Un-fsynced frames: (frame_bytes, billed).
+        self._pending: List[Tuple[bytes, int]] = []
+        self._pending_billed = 0
+        #: Billed bytes adopted wholesale (adopt-time log_bytes minus
+        #: the per-record billed sum — keeps :attr:`billed_total` exact
+        #: for logs whose per-entry billing predates the device).
+        self._billed_base = 0
+        self._synced_billed = 0
+        #: Bumped on every crash so an in-flight fsync knows its batch
+        #: died with the write cache.
+        self._crash_epoch = 0
+        # -------- armed faults (set by repro.faults, docs/FAULTS.md)
+        #: Crashes left that tear (partially persist) the pending tail.
+        self.torn_crashes_armed = 0
+        #: Simulated instant until which fsyncs stall (0 = no stall).
+        self.fsync_stalled_until = 0.0
+        self.counters: Dict[str, int] = {
+            "appends": 0, "fsyncs": 0, "crashes": 0,
+            "torn_writes": 0, "lost_tail_records": 0,
+            "corrupted_records": 0, "reopens": 0,
+            "records_dropped_on_reopen": 0,
+        }
+
+    # ----------------------------------------------------------- write path
+
+    def write(self, data: bytes, billed: Optional[int] = None) -> None:
+        """Append one record to the volatile tail (no simulated cost:
+        the bytes land in the write cache; durability needs fsync)."""
+        if billed is None:
+            billed = len(data)
+        hdr = _FRAME_HDR.pack(len(data), billed,
+                              crc32(data, billed & 0xFFFFFFFF))
+        self._pending.append((hdr + data, billed))
+        self._pending_billed += billed
+        self.counters["appends"] += 1
+
+    def fsync(self):
+        """Flush the volatile tail to the image (simulated-process
+        generator). Charges ``model.append_time(pending billed)`` in a
+        single yield — plus any armed stall — then the tail is durable.
+        A clean no-op (zero yields) when nothing is pending.
+
+        Concurrent-safe: the record count and billed total are
+        snapshotted at call time, so two processes fsyncing the same
+        device never flush a frame twice, and a crash during the device
+        delay loses the batch (it was not yet durable)."""
+        if not self._pending:
+            return
+        target = len(self._pending)
+        billed = self._pending_billed
+        epoch = self._crash_epoch
+        delay = self.model.append_time(billed)
+        if self.fsync_stalled_until > self.sim.now:
+            delay += self.fsync_stalled_until - self.sim.now
+        yield delay
+        if self._crash_epoch != epoch:
+            return  # power was lost mid-flush; the tail is gone
+        take = min(target, len(self._pending))
+        for frame, frame_billed in self._pending[:take]:
+            self._image += frame
+            self._synced_billed += frame_billed
+            self._pending_billed -= frame_billed
+        del self._pending[:take]
+        self.counters["fsyncs"] += 1
+
+    # ----------------------------------------------------------- fault path
+
+    def crash(self) -> None:
+        """Power loss: the un-fsynced tail is gone. With a torn-append
+        fault armed, a partial prefix of the first pending frame makes
+        it to the image instead — CRC-invalid, dropped on reopen."""
+        self.counters["crashes"] += 1
+        self._crash_epoch += 1
+        if self._pending and self.torn_crashes_armed > 0:
+            self.torn_crashes_armed -= 1
+            frame, _billed = self._pending[0]
+            torn = frame[:max(1, len(frame) // 2)]
+            self._image += torn
+            self.counters["torn_writes"] += 1
+        self.counters["lost_tail_records"] += len(self._pending)
+        self._pending.clear()
+        self._pending_billed = 0
+
+    def corrupt(self, record_index: int = 0) -> bool:
+        """Flip one byte in the ``record_index``-th durable record's
+        body (whole-device corruption from that record on, once reopen
+        truncates at the CRC mismatch). Returns False when the image
+        has no such record."""
+        offset = 0
+        index = 0
+        n = len(self._image)
+        while offset + _FRAME_HDR.size <= n:
+            body_len, _billed, _crc = _FRAME_HDR.unpack_from(
+                self._image, offset)
+            end = offset + _FRAME_HDR.size + body_len
+            if end > n:
+                break
+            if index == record_index:
+                flip_at = offset + _FRAME_HDR.size if body_len else offset
+                self._image[flip_at] ^= 0xFF
+                self.counters["corrupted_records"] += 1
+                return True
+            offset = end
+            index += 1
+        return False
+
+    # ------------------------------------------------------------ read path
+
+    def _scan(self) -> Tuple[List[Tuple[bytes, int]], int]:
+        """CRC-scan the image: ``(valid (body, billed) records, offset
+        of first invalid byte)``."""
+        records: List[Tuple[bytes, int]] = []
+        offset = 0
+        n = len(self._image)
+        while offset + _FRAME_HDR.size <= n:
+            body_len, billed, crc = _FRAME_HDR.unpack_from(self._image, offset)
+            end = offset + _FRAME_HDR.size + body_len
+            if end > n:
+                break  # torn: header promises more bytes than exist
+            body = bytes(self._image[offset + _FRAME_HDR.size:end])
+            if crc32(body, billed & 0xFFFFFFFF) != crc:
+                break  # corrupt record
+            records.append((body, billed))
+            offset = end
+        return records, offset
+
+    def reopen(self) -> List[bytes]:
+        """Recovery-time open: CRC-scan, truncate the image at the first
+        invalid record (torn tail / corruption), drop any volatile
+        state, and return the surviving record bodies in append order.
+        Takes no simulated time — callers charge
+        ``StorageModel.read_time`` on :attr:`billed_total` themselves
+        (as the recovery replay stage does, docs/RECOVERY.md)."""
+        self.counters["reopens"] += 1
+        self._pending.clear()
+        self._pending_billed = 0
+        records, valid_end = self._scan()
+        if valid_end != len(self._image):
+            total = self._count_records_raw()
+            self.counters["records_dropped_on_reopen"] += max(
+                0, total - len(records))
+            del self._image[valid_end:]
+        self._synced_billed = sum(b for _body, b in records)
+        return [body for body, _b in records]
+
+    def records(self) -> List[bytes]:
+        """Durable record bodies up to the first invalid frame (a
+        zero-cost peek — :meth:`reopen` is the recovery-path read)."""
+        records, _valid_end = self._scan()
+        return [body for body, _b in records]
+
+    def _count_records_raw(self) -> int:
+        """Records the image *claims* to hold, CRC-blind (so reopen can
+        count how many a corruption truncated away)."""
+        count = 0
+        offset = 0
+        n = len(self._image)
+        while offset + _FRAME_HDR.size <= n:
+            body_len, _b, _c = _FRAME_HDR.unpack_from(self._image, offset)
+            end = offset + _FRAME_HDR.size + body_len
+            if end > n:
+                count += 1  # the torn one
+                break
+            count += 1
+            offset = end
+        return count
+
+    # ------------------------------------------------------------- adoption
+
+    def rewrite(self, pairs: List[Tuple[bytes, int]],
+                billed_base: int = 0) -> None:
+        """Atomically replace the device contents with ``pairs`` of
+        ``(record body, billed)``, already durable (recovery state
+        transfer installs a replayed-plus-fetched log wholesale;
+        docs/RECOVERY.md). ``billed_base`` carries billed bytes not
+        attributable to individual records (adopted-log accounting)."""
+        self._image = bytearray()
+        self._pending.clear()
+        self._pending_billed = 0
+        self._synced_billed = 0
+        self._billed_base = billed_base
+        for body, billed in pairs:
+            hdr = _FRAME_HDR.pack(len(body), billed,
+                                  crc32(body, billed & 0xFFFFFFFF))
+            self._image += hdr
+            self._image += body
+            self._synced_billed += billed
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def billed_total(self) -> int:
+        """Billed bytes durable on the device (drives replay read-time
+        charges). Adopted-base bytes survive reopen even if corruption
+        truncates adopted records — a documented overcount confined to
+        armed-corruption runs."""
+        return self._billed_base + self._synced_billed
+
+    @property
+    def pending_records(self) -> int:
+        return len(self._pending)
+
+    @property
+    def image_bytes(self) -> int:
+        return len(self._image)
+
+    def __repr__(self) -> str:
+        return (f"<StorageDevice {self.name}@{self.node_id} "
+                f"image={len(self._image)}B pending={len(self._pending)}>")
+
+
+# ---------------------------------------------------------------------------
+# Per-cluster registry
+# ---------------------------------------------------------------------------
+
+
+class ClusterStorage:
+    """All of a cluster's devices, keyed ``(node_id, name)``.
+
+    Devices are created on first use and *never* destroyed by crashes
+    or view changes — they are the stable storage that epoch restarts
+    and power-loss recovery read back (docs/DURABILITY.md)."""
+
+    def __init__(self, sim, model):
+        self.sim = sim
+        self.model = model
+        self.devices: Dict[Tuple[int, str], StorageDevice] = {}
+
+    def device(self, node_id: int, name: str) -> StorageDevice:
+        """Get-or-create a node's named device."""
+        key = (node_id, name)
+        dev = self.devices.get(key)
+        if dev is None:
+            dev = StorageDevice(self.sim, self.model, name=name,
+                                node_id=node_id)
+            self.devices[key] = dev
+        return dev
+
+    def peek(self, node_id: int, name: str) -> Optional[StorageDevice]:
+        """The device if it exists; never creates."""
+        return self.devices.get((node_id, name))
+
+    def devices_of(self, node_id: int) -> List[StorageDevice]:
+        return [dev for (nid, _name), dev in sorted(self.devices.items())
+                if nid == node_id]
+
+    def crash_node(self, node_id: int) -> None:
+        """Power loss on one node: every device loses (or tears) its
+        un-fsynced tail."""
+        for dev in self.devices_of(node_id):
+            dev.crash()
+
+    def counters(self) -> Dict[str, int]:
+        """Fleet-wide device counters (summed)."""
+        total: Dict[str, int] = {}
+        for dev in self.devices.values():
+            for key, value in dev.counters.items():
+                total[key] = total.get(key, 0) + value
+        return total

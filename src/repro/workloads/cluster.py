@@ -31,6 +31,7 @@ from ..rdma.fabric import RdmaFabric
 from ..rdma.latency import LatencyModel
 from ..recovery.trim import TrimLedger
 from ..sim.engine import Simulator
+from ..storage.device import ClusterStorage, decode_log_entry, encode_log_entry
 
 __all__ = ["Cluster"]
 
@@ -91,12 +92,13 @@ class Cluster:
         #: Crash-stopped nodes (they stay in ``node_ids`` — provisioned
         #: machines — but are excluded from :meth:`live_nodes`).
         self.dead_nodes: Set[int] = set()
-        #: (node, subgroup) -> (entries, bytes): each node's on-SSD
-        #: durable log, harvested at every epoch boundary so it survives
-        #: crashes and view changes (docs/RECOVERY.md).
-        self._durable_logs: Dict[Tuple[int, int], Tuple[list, int]] = {}
         #: Timing model of the simulated SSDs (replay cost on restart).
         self.storage_model = StorageModel()
+        #: The cluster's stable storage: one append-only
+        #: :class:`~repro.storage.StorageDevice` per (node, purpose),
+        #: surviving crashes and view changes — durable logs and Paxos
+        #: acceptor state live here (docs/DURABILITY.md).
+        self.storage = ClusterStorage(self.sim, self.storage_model)
         #: Per-epoch audit log of ragged-edge trim decisions, fed by the
         #: membership protocol and the recovery coordinator and checked
         #: by :class:`repro.recovery.verify.VsyncVerifier`.
@@ -250,11 +252,16 @@ class Cluster:
             group.start()
         self.view = view
         # Seed the new epoch's persistence engines from the on-SSD logs
-        # (durable state survives the epoch restart).
-        for (node_id, sg_id), (log, log_bytes) in self._durable_logs.items():
-            group = self.groups.get(node_id)
-            if group is not None and sg_id in group.persistence:
-                group.persistence[sg_id].adopt_log(log, log_bytes)
+        # (durable state survives the epoch restart): each engine shares
+        # its node's device, which still holds the prior epoch's fsynced
+        # records.
+        for node_id, group in self.groups.items():
+            for sg_id, engine in group.persistence.items():
+                records = engine.device.records()
+                if records:
+                    engine.adopt_log(
+                        [decode_log_entry(b) for b in records],
+                        engine.device.billed_total)
         for callback in list(self.on_view_installed):
             callback(view)
 
@@ -330,21 +337,21 @@ class Cluster:
         protocol state and build the new view's (fresh SSTs, fresh
         registration — §2.3: memory layout is fixed *per view*).
 
-        Durable logs live on each node's (simulated) SSD, so they
-        survive the restart: each old engine's log is harvested into the
-        cluster's durable store and the new epoch's engines adopt it
+        Durable logs live on each node's (simulated) SSD
+        (:attr:`storage`), so they survive the restart: the new epoch's
+        engines adopt their device's fsynced contents
         (:meth:`PersistenceEngine.adopt_log
         <repro.core.persistence.PersistenceEngine.adopt_log>`) — crashed
-        members' logs included, so a later restart can replay them.
+        members' devices included, so a later restart can replay them.
         """
         old_view, old_groups = self.view, self.groups
         if old_view is not None:
             for callback in list(self.on_epoch_end):
                 callback(old_view, old_groups)
         for node_id, group in old_groups.items():
-            for sg_id, engine in group.persistence.items():
-                self._durable_logs[(node_id, sg_id)] = (
-                    list(engine.log), engine.log_bytes)
+            # No harvesting needed: each engine's fsynced log already
+            # lives on its node's device in ``self.storage``, which the
+            # epoch restart leaves untouched.
             group.teardown()
         self._install(new_view)
 
@@ -357,12 +364,23 @@ class Cluster:
         group = self.groups.get(node_id)
         if group is not None:
             group.kill()
+        # Power loss hits the write caches: every device on the node
+        # drops (or, with a torn-append fault armed, tears) its
+        # un-fsynced tail. Fsynced bytes survive.
+        self.storage.crash_node(node_id)
 
     def restart_node(self, node_id: int) -> None:
         """Power a crashed node's NIC back on (crash-recovery model:
         volatile state is gone, the durable log survives on its SSD).
         Protocol re-admission is the recovery plane's job — see
-        :attr:`recovery` and docs/RECOVERY.md."""
+        :attr:`recovery` and docs/RECOVERY.md. Only a crashed node may
+        restart: restarting a live node (never crashed, or restarted
+        twice) would wrongly re-run the backend's crash-recovery path
+        on live protocol state, so it raises."""
+        if node_id not in self.dead_nodes:
+            raise RuntimeError(
+                f"restart_node({node_id}): node is not crashed "
+                f"(never failed, or already restarted)")
         node = self.fabric.nodes[node_id]
         node.alive = True
         node.egress_free_at = max(node.egress_free_at, self.sim.now)
@@ -379,15 +397,18 @@ class Cluster:
     def durable_log(self, node_id: int, subgroup_id: int) -> Tuple[list, int]:
         """One node's on-SSD durable log for a subgroup, as
         ``(entries, bytes)``. Reads the live engine when the node runs
-        one this epoch, else the harvested carryover store (which is
-        how a crashed node's log is replayed after restart)."""
+        one this epoch, else the node's device in :attr:`storage`
+        (which is how a crashed node's log is replayed after
+        restart)."""
         group = self.groups.get(node_id)
         if group is not None and subgroup_id in group.persistence:
             engine = group.persistence[subgroup_id]
             return list(engine.log), engine.log_bytes
-        entries, log_bytes = self._durable_logs.get(
-            (node_id, subgroup_id), ([], 0))
-        return list(entries), log_bytes
+        device = self.storage.peek(node_id, f"sg{subgroup_id}")
+        if device is None:
+            return [], 0
+        entries = [decode_log_entry(b) for b in device.records()]
+        return entries, device.billed_total
 
     def adopt_durable_log(self, node_id: int, subgroup_id: int,
                           entries, log_bytes: Optional[int] = None) -> None:
@@ -397,7 +418,11 @@ class Cluster:
         entries = [tuple(e) for e in entries]
         if log_bytes is None:
             log_bytes = sum(len(p) for _s, _n, p in entries if p is not None)
-        self._durable_logs[(node_id, subgroup_id)] = (entries, log_bytes)
+        pairs = [(encode_log_entry(s, n, p), len(p) if p is not None else 0)
+                 for s, n, p in entries]
+        base = log_bytes - sum(b for _f, b in pairs)
+        self.storage.device(node_id, f"sg{subgroup_id}").rewrite(
+            pairs, billed_base=base)
 
     @property
     def recovery(self) -> "RecoveryCoordinator":

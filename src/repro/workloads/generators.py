@@ -177,6 +177,7 @@ def open_loop_client(
     stats: Optional[SloStats] = None,
     deadline: Optional[float] = None,
     name: str = "client",
+    max_resubmits: int = 0,
 ):
     """Open-loop Poisson client: arrivals at ``rate`` requests/second.
 
@@ -196,6 +197,13 @@ def open_loop_client(
     the :class:`SloStats` used (the ``stats`` argument, or a fresh one
     reachable from the generator's return value when driven to
     completion).
+
+    ``max_resubmits`` lets a rejected request honor the router's
+    ``retry_after`` hint (jittered when ``RouterConfig.retry_jitter``
+    is set — de-synchronizing a thundering herd of open-loop clients):
+    the per-request process sleeps the hint and resubmits, up to the
+    budget, before the rejection is recorded. 0 (the default) records
+    the first rejection immediately, exactly as before.
     """
     if rate <= 0:
         raise ValueError("arrival rate must be positive")
@@ -206,6 +214,13 @@ def open_loop_client(
 
     def one(k: int, arrived: float):
         outcome = yield from request_factory(k)
+        resubmits = 0
+        while (resubmits < max_resubmits
+               and getattr(outcome, "status", "ok") == "rejected"
+               and getattr(outcome, "retry_after", 0.0) > 0.0):
+            yield outcome.retry_after
+            resubmits += 1
+            outcome = yield from request_factory(k)
         latency = sim.now - arrived
         status = getattr(outcome, "status", "ok")
         attempts = getattr(outcome, "attempts", 1)

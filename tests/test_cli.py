@@ -135,4 +135,6 @@ class TestChaosCli:
                             "--seed", "1", "--sweep", "2")
         assert code == 0
         lines = [ln for ln in out.splitlines() if "crash-restart" in ln]
-        assert len(lines) == 2
+        # Two per-seed rows plus the aggregated per-scenario summary row.
+        assert len(lines) == 3
+        assert "2/2" in lines[-1]

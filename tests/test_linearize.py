@@ -1,0 +1,98 @@
+"""Tests for the black-box linearizability auditor
+(:mod:`repro.analysis.linearize`, docs/DURABILITY.md)."""
+
+from repro.analysis.linearize import (HistoryRecorder, Op, check_history,
+                                      selftest)
+
+
+def put(client, key, value, invoked, returned):
+    return Op(client=client, kind="put", key=key, value=value,
+              invoked=invoked, returned=returned)
+
+
+def get(client, key, value, invoked, returned):
+    return Op(client=client, kind="get", key=key, value=value,
+              invoked=invoked, returned=returned)
+
+
+class TestChecker:
+    def test_empty_history_is_linearizable(self):
+        assert check_history([]).ok
+
+    def test_sequential_history(self):
+        ops = [put(0, b"k", b"v1", 0.0, 1.0),
+               get(1, b"k", b"v1", 2.0, 3.0)]
+        assert check_history(ops).ok
+
+    def test_read_of_initial_none(self):
+        assert check_history([get(0, b"k", None, 0.0, 1.0)]).ok
+
+    def test_stale_read_is_a_violation(self):
+        ops = [put(0, b"k", b"v1", 0.0, 1.0),
+               put(0, b"k", b"v2", 2.0, 3.0),
+               get(1, b"k", b"v1", 4.0, 5.0)]  # v2 already committed
+        report = check_history(ops)
+        assert not report.ok
+        assert report.violations
+
+    def test_concurrent_puts_allow_either_winner(self):
+        base = [put(0, b"k", b"a", 0.0, 2.0),
+                put(1, b"k", b"b", 0.0, 2.0)]
+        for winner in (b"a", b"b"):
+            ops = base + [get(2, b"k", winner, 3.0, 4.0)]
+            assert check_history(ops).ok, winner
+
+    def test_read_from_the_future_is_a_violation(self):
+        ops = [get(0, b"k", b"v", 0.0, 1.0),     # returned before any put
+               put(1, b"k", b"v", 2.0, 3.0)]
+        assert not check_history(ops).ok
+
+    def test_pending_put_may_take_effect_or_not(self):
+        pending = Op(client=0, kind="put", key=b"k", value=b"v",
+                     invoked=0.0, returned=None)
+        # Observed: the pending put linearized.
+        assert check_history([pending, get(1, b"k", b"v", 1.0, 2.0)]).ok
+        # Never observed: it was dropped in flight.
+        assert check_history([pending, get(1, b"k", None, 1.0, 2.0)]).ok
+
+    def test_pending_put_cannot_linearize_before_invoke(self):
+        pending = Op(client=0, kind="put", key=b"k", value=b"v",
+                     invoked=5.0, returned=None)
+        read = get(1, b"k", b"v", 0.0, 1.0)  # saw it before it existed
+        assert not check_history([pending, read]).ok
+
+    def test_keys_checked_independently(self):
+        ops = [put(0, b"a", b"1", 0.0, 1.0),
+               put(0, b"b", b"2", 2.0, 3.0),
+               get(1, b"a", b"1", 4.0, 5.0),
+               get(1, b"b", b"2", 4.0, 5.0)]
+        report = check_history(ops)
+        assert report.ok
+        assert report.keys_checked == 2
+        assert report.ops_checked == 4
+
+
+class TestRecorder:
+    def test_invoke_complete_drop_flow(self):
+        rec = HistoryRecorder()
+        a = rec.invoke(0, "put", b"k", b"v", 0.0)
+        rec.complete(a, 1.0)
+        b = rec.invoke(1, "put", b"k", b"x", 0.5)
+        rec.drop(b)  # rejected before taking effect
+        rec.record_read(2, b"k", b"v", 2.0)
+        history = rec.history()
+        assert len(history) == 2  # dropped op excluded
+        assert check_history(history).ok
+
+    def test_uncompleted_op_is_pending(self):
+        rec = HistoryRecorder()
+        rec.invoke(0, "put", b"k", b"v", 0.0)
+        (op,) = rec.history()
+        assert op.returned is None
+
+
+class TestSelftest:
+    def test_selftest_passes_and_catches_seeded_violation(self):
+        ok, stale_report = selftest()
+        assert ok
+        assert not stale_report.ok

@@ -1,0 +1,275 @@
+"""Tests for the simulated storage layer (docs/DURABILITY.md).
+
+Covers :class:`StorageDevice` write/fsync/crash/torn/corrupt/reopen
+semantics, the log-entry codec, :class:`ClusterStorage` bookkeeping,
+and the Cluster-level durable-log plumbing (``adopt_log`` pristine
+guard, ``adopt_durable_log``, ``restart_node`` edge cases).
+"""
+
+import pytest
+
+from repro.core.config import SpindleConfig
+from repro.core.persistence import StorageModel
+from repro.sim.engine import Simulator
+from repro.storage import (ClusterStorage, StorageDevice, decode_log_entry,
+                           encode_log_entry)
+from repro.workloads import Cluster, continuous_sender
+
+
+def make_device(name="dev"):
+    sim = Simulator()
+    dev = StorageDevice(sim, StorageModel(), name=name, node_id=0)
+    return sim, dev
+
+
+def drive_fsync(sim, dev):
+    """Run one fsync generator to completion on the sim clock."""
+    sim.spawn(dev.fsync(), name="fsync")
+    sim.run()
+
+
+# ---------------------------------------------------------------------------
+# Log-entry codec
+# ---------------------------------------------------------------------------
+
+
+class TestLogEntryCodec:
+    def test_round_trip_with_payload(self):
+        blob = encode_log_entry(7, 2, b"hello")
+        assert decode_log_entry(blob) == (7, 2, b"hello")
+
+    def test_none_payload_distinct_from_empty(self):
+        none_blob = encode_log_entry(0, 0, None)
+        empty_blob = encode_log_entry(0, 0, b"")
+        assert none_blob != empty_blob
+        assert decode_log_entry(none_blob) == (0, 0, None)
+        assert decode_log_entry(empty_blob) == (0, 0, b"")
+
+    def test_truncated_body_raises(self):
+        blob = encode_log_entry(1, 1, b"payload")
+        with pytest.raises(ValueError):
+            decode_log_entry(blob[:-2])
+
+
+# ---------------------------------------------------------------------------
+# StorageDevice
+# ---------------------------------------------------------------------------
+
+
+class TestDeviceWriteFsync:
+    def test_write_is_volatile_until_fsync(self):
+        sim, dev = make_device()
+        dev.write(b"a")
+        dev.write(b"b")
+        assert dev.pending_records == 2
+        assert dev.records() == []  # nothing durable yet
+        drive_fsync(sim, dev)
+        assert dev.pending_records == 0
+        assert dev.records() == [b"a", b"b"]
+
+    def test_fsync_charges_append_time(self):
+        sim, dev = make_device()
+        dev.write(b"x" * 4096)
+        drive_fsync(sim, dev)
+        assert sim.now == pytest.approx(dev.model.append_time(4096))
+
+    def test_fsync_noop_when_nothing_pending(self):
+        sim, dev = make_device()
+        drive_fsync(sim, dev)
+        assert sim.now == 0.0
+        assert dev.counters["fsyncs"] == 0
+
+    def test_billed_overrides_length(self):
+        sim, dev = make_device()
+        dev.write(b"tiny", billed=1024)
+        drive_fsync(sim, dev)
+        assert dev.billed_total == 1024
+
+    def test_concurrent_fsyncs_never_double_flush(self):
+        sim, dev = make_device()
+        dev.write(b"one")
+        sim.spawn(dev.fsync(), name="f1")
+        sim.spawn(dev.fsync(), name="f2")
+        sim.run()
+        assert dev.records() == [b"one"]
+        assert dev.billed_total == 3
+
+
+class TestDeviceCrash:
+    def test_crash_drops_unfsynced_tail(self):
+        sim, dev = make_device()
+        dev.write(b"durable")
+        drive_fsync(sim, dev)
+        dev.write(b"volatile")
+        dev.crash()
+        assert dev.reopen() == [b"durable"]
+        assert dev.counters["lost_tail_records"] == 1
+
+    def test_crash_during_fsync_loses_batch(self):
+        sim, dev = make_device()
+        dev.write(b"in-flight")
+        sim.spawn(dev.fsync(), name="fsync")
+
+        def killer():
+            yield dev.model.append_time(9) / 2  # mid-flush
+            dev.crash()
+
+        sim.spawn(killer(), name="killer")
+        sim.run()
+        assert dev.reopen() == []
+
+    def test_torn_append_detected_on_reopen(self):
+        sim, dev = make_device()
+        dev.write(b"safe")
+        drive_fsync(sim, dev)
+        dev.write(b"torn-victim" * 8)  # big enough that the torn
+        dev.torn_crashes_armed = 1     # prefix includes a full header
+        dev.crash()
+        assert dev.counters["torn_writes"] == 1
+        assert dev.image_bytes > len(b"safe") + 12  # torn prefix landed
+        assert dev.reopen() == [b"safe"]  # CRC scan truncates the tear
+        assert dev.counters["records_dropped_on_reopen"] >= 1
+
+    def test_fsync_stall_delays_durability(self):
+        sim, dev = make_device()
+        dev.write(b"slow")
+        dev.fsync_stalled_until = 1.0
+        drive_fsync(sim, dev)
+        assert sim.now >= 1.0
+
+
+class TestDeviceCorruptionAndReopen:
+    def test_corrupt_truncates_from_record_on(self):
+        sim, dev = make_device()
+        for body in (b"r0", b"r1", b"r2"):
+            dev.write(body)
+        drive_fsync(sim, dev)
+        assert dev.corrupt(record_index=1)
+        assert dev.reopen() == [b"r0"]
+
+    def test_corrupt_out_of_range_is_false(self):
+        sim, dev = make_device()
+        dev.write(b"only")
+        drive_fsync(sim, dev)
+        assert not dev.corrupt(record_index=5)
+
+    def test_reopen_recomputes_billed(self):
+        sim, dev = make_device()
+        dev.write(b"a", billed=100)
+        dev.write(b"b", billed=200)
+        drive_fsync(sim, dev)
+        dev.corrupt(record_index=1)
+        dev.reopen()
+        assert dev.billed_total == 100
+
+    def test_rewrite_replaces_contents(self):
+        sim, dev = make_device()
+        dev.write(b"old")
+        drive_fsync(sim, dev)
+        dev.rewrite([(b"new1", 10), (b"new2", 20)], billed_base=5)
+        assert dev.records() == [b"new1", b"new2"]
+        assert dev.billed_total == 35
+        # Rewritten contents survive reopen intact.
+        assert dev.reopen() == [b"new1", b"new2"]
+
+
+class TestClusterStorage:
+    def test_device_get_or_create_and_peek(self):
+        sim = Simulator()
+        cs = ClusterStorage(sim, StorageModel())
+        assert cs.peek(0, "sg0") is None
+        dev = cs.device(0, "sg0")
+        assert cs.device(0, "sg0") is dev
+        assert cs.peek(0, "sg0") is dev
+
+    def test_crash_node_hits_all_node_devices(self):
+        sim = Simulator()
+        cs = ClusterStorage(sim, StorageModel())
+        a = cs.device(1, "sg0")
+        b = cs.device(1, "wal")
+        other = cs.device(2, "sg0")
+        for dev in (a, b, other):
+            dev.write(b"x")
+        cs.crash_node(1)
+        assert a.pending_records == 0 and b.pending_records == 0
+        assert other.pending_records == 1
+
+    def test_counters_summed(self):
+        sim = Simulator()
+        cs = ClusterStorage(sim, StorageModel())
+        cs.device(0, "sg0").write(b"x")
+        cs.device(1, "sg0").write(b"y")
+        assert cs.counters()["appends"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Cluster-level plumbing
+# ---------------------------------------------------------------------------
+
+
+def build_cluster(n=3, count=10, size=256):
+    cluster = Cluster(n, config=SpindleConfig.optimized())
+    cluster.add_subgroup(message_size=size, window=8, persistent=True)
+    cluster.build()
+    for nid in cluster.node_ids:
+        cluster.spawn_sender(continuous_sender(
+            cluster.mc(nid, 0), count=count, size=size,
+            payload_fn=lambda k, nid=nid: b"%d:%d" % (nid, k)))
+    return cluster
+
+
+class TestClusterDurablePlumbing:
+    def test_adopt_log_non_pristine_raises(self):
+        cluster = build_cluster()
+        cluster.run_to_quiescence(max_time=30.0)
+        engine = cluster.group(0).persistence[0]
+        assert engine.log  # took appends this epoch
+        with pytest.raises(RuntimeError, match="non-pristine"):
+            engine.adopt_log([(0, 0, b"spliced")])
+
+    def test_adopt_durable_log_bookkeeping(self):
+        cluster = build_cluster()
+        cluster.run_to_quiescence(max_time=30.0)
+        entries = [(0, 0, b"aaaa"), (1, 1, None), (2, 2, b"bb")]
+        cluster.adopt_durable_log(0, 0, entries, log_bytes=100)
+        # The live engine still reports this epoch's log; the device
+        # holds the adopted one for the next epoch. Read the device.
+        dev = cluster.storage.peek(0, "sg0")
+        assert [decode_log_entry(b) for b in dev.records()] == entries
+        assert dev.billed_total == 100
+
+    def test_adopt_durable_log_infers_bytes(self):
+        cluster = build_cluster()
+        cluster.adopt_durable_log(1, 0, [(0, 0, b"12345")])
+        dev = cluster.storage.peek(1, "sg0")
+        assert dev.billed_total == 5
+
+    def test_restart_never_crashed_raises(self):
+        cluster = build_cluster()
+        with pytest.raises(RuntimeError, match="not crashed"):
+            cluster.restart_node(0)
+
+    def test_double_restart_raises(self):
+        cluster = build_cluster()
+
+        def chaos():
+            yield 0.001
+            cluster.fail_node(2)
+            yield 0.001
+            cluster.restart_node(2)
+
+        cluster.sim.spawn(chaos(), name="chaos")
+        cluster.run_to_quiescence(max_time=30.0)
+        with pytest.raises(RuntimeError, match="not crashed"):
+            cluster.restart_node(2)
+
+    def test_durable_log_survives_node_crash(self):
+        cluster = build_cluster(count=10)
+        cluster.run_to_quiescence(max_time=30.0)
+        before, _bytes = cluster.durable_log(1, 0)
+        assert before
+        cluster.fail_node(1)
+        after, _bytes2 = cluster.durable_log(1, 0)
+        # Fsynced entries survive the crash; the tail may be shorter
+        # but never reordered.
+        assert after == before[:len(after)]
