@@ -32,7 +32,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 __all__ = ["Op", "HistoryRecorder", "LinearizabilityReport",
-           "check_history", "check_recorder", "selftest"]
+           "check_history", "check_recorder", "selftest",
+           "TxnEvent", "TxnHistoryRecorder", "check_txn_history",
+           "check_txn_recorder", "txn_selftest"]
 
 
 @dataclass
@@ -223,3 +225,183 @@ def selftest() -> Tuple[bool, LinearizabilityReport]:
     ]
     stale_report = check_history(stale)
     return (ok_pass and not stale_report.ok), stale_report
+
+
+# ---------------------------------------------------------------------------
+# Transactional histories: strict serializability at txn granularity
+# ---------------------------------------------------------------------------
+#
+# Multi-key transactions break P-compositionality — a per-key check
+# cannot see a txn observed half-applied across two keys — so the txn
+# auditor runs one Wing–Gong search over the *whole* key space: state
+# is the full store image, a candidate txn applies atomically (all
+# reads must match the state, then all writes land together), and the
+# same real-time minimality bound enforces strictness. Committed txns
+# MUST serialize inside their invoke/return window; pending txns (the
+# client never saw a verdict: coordinator crash, in-flight at harvest)
+# MAY take effect at any later point or be dropped — exactly the
+# presumed-abort ambiguity the WAL recovery resolves.
+
+
+@dataclass
+class TxnEvent:
+    """One transaction in the recorded history: the values it observed
+    and the writes it claims to have committed atomically."""
+
+    client: int
+    #: key -> value observed (None = read as absent).
+    reads: Dict[bytes, Optional[bytes]] = field(default_factory=dict)
+    #: key -> value written (None = delete).
+    writes: Dict[bytes, Optional[bytes]] = field(default_factory=dict)
+    invoked: float = 0.0
+    returned: Optional[float] = None   # None = pending (no verdict seen)
+
+    def describe(self) -> str:
+        window = (f"[{self.invoked:.6g}, "
+                  f"{'…' if self.returned is None else format(self.returned, '.6g')}]")
+        reads = ",".join(f"{k!r}={v!r}" for k, v in sorted(self.reads.items()))
+        writes = ",".join(f"{k!r}:={v!r}" for k, v in sorted(self.writes.items()))
+        return f"c{self.client} txn(r:{reads} w:{writes}) @{window}"
+
+
+class TxnHistoryRecorder:
+    """Passive invoke/verdict history of transactions (same contract
+    as :class:`HistoryRecorder`: plain list appends, no sim events)."""
+
+    def __init__(self):
+        self.txns: List[TxnEvent] = []
+        self._dropped: set = set()
+
+    def invoke(self, client: int, at: float) -> int:
+        self.txns.append(TxnEvent(client=client, invoked=at))
+        return len(self.txns) - 1
+
+    def complete(self, txn_id: int, at: float,
+                 reads: Optional[Dict[bytes, Optional[bytes]]] = None,
+                 writes: Optional[Dict[bytes, Optional[bytes]]] = None
+                 ) -> None:
+        """The client saw a commit verdict (aborted txns are
+        :meth:`drop`-ped: they promise no effect and made none the
+        client could see)."""
+        txn = self.txns[txn_id]
+        txn.returned = at
+        if reads is not None:
+            txn.reads = dict(reads)
+        if writes is not None:
+            txn.writes = dict(writes)
+
+    def drop(self, txn_id: int) -> None:
+        self._dropped.add(txn_id)
+
+    def pending_writes(self, txn_id: int,
+                       writes: Dict[bytes, Optional[bytes]]) -> None:
+        """Attach the write set of a txn with no verdict (client died
+        mid-commit): the checker may serialize it anywhere after its
+        invoke, or drop it."""
+        self.txns[txn_id].writes = dict(writes)
+
+    def record_state_read(self, client: int,
+                          state: Dict[bytes, Optional[bytes]],
+                          at: float) -> None:
+        """Synthetic instantaneous read-only txn observing a replica's
+        state over the audited keys (absent keys as None) — the final
+        audit read that forces every committed write to be accounted."""
+        txn_id = self.invoke(client, at)
+        self.complete(txn_id, at, reads=dict(state), writes={})
+
+    def history(self) -> List[TxnEvent]:
+        return [t for i, t in enumerate(self.txns) if i not in self._dropped]
+
+    def __len__(self) -> int:
+        return len(self.txns) - len(self._dropped)
+
+
+def check_txn_history(txns: List[TxnEvent]) -> LinearizabilityReport:
+    """Strict-serializability check of a transactional history (one
+    search over the whole key space — see module commentary)."""
+    keys = set()
+    for txn in txns:
+        keys.update(txn.reads)
+        keys.update(txn.writes)
+    report = LinearizabilityReport(
+        ok=True, keys_checked=len(keys), ops_checked=len(txns),
+        pending_ops=sum(1 for t in txns if t.returned is None))
+    n = len(txns)
+    failed: set = set()
+
+    def apply_writes(state: frozenset, txn: TxnEvent) -> frozenset:
+        if not txn.writes:
+            return state
+        image = dict(state)
+        for key, value in txn.writes.items():
+            if value is None:
+                image.pop(key, None)
+            else:
+                image[key] = value
+        return frozenset(image.items())
+
+    def reads_match(state: frozenset, txn: TxnEvent) -> bool:
+        if not txn.reads:
+            return True
+        image = dict(state)
+        return all(image.get(k) == v for k, v in txn.reads.items())
+
+    def search(remaining: frozenset, state: frozenset) -> bool:
+        completed = [i for i in remaining if txns[i].returned is not None]
+        if not completed:
+            return True  # pending txns may all be dropped
+        key_state = (remaining, state)
+        if key_state in failed:
+            return False
+        bound = min(txns[i].returned for i in completed)
+        for i in sorted(remaining):
+            txn = txns[i]
+            if txn.invoked > bound:
+                continue
+            if txn.returned is not None and not reads_match(state, txn):
+                continue
+            if search(remaining - {i}, apply_writes(state, txn)):
+                return True
+        failed.add(key_state)
+        return False
+
+    if not search(frozenset(range(n)), frozenset()):
+        completed = sorted((t for t in txns if t.returned is not None),
+                           key=lambda t: t.invoked)
+        detail = "; ".join(t.describe() for t in completed[:4])
+        report.ok = False
+        report.violations.append(
+            f"no strict serialization of {n} txns over "
+            f"{len(keys)} keys ({detail}{' …' if len(completed) > 4 else ''})")
+    return report
+
+
+def check_txn_recorder(recorder: TxnHistoryRecorder) -> LinearizabilityReport:
+    return check_txn_history(recorder.history())
+
+
+def txn_selftest() -> Tuple[bool, LinearizabilityReport]:
+    """Self-audit of the txn checker: a legal transactional history
+    must pass; a seeded *atomicity violation* (a txn observed
+    half-applied across two keys) must be caught."""
+    legal = [
+        TxnEvent(0, reads={}, writes={b"a": b"1", b"b": b"1"},
+                 invoked=0.0, returned=1.0),
+        TxnEvent(1, reads={b"a": b"1"}, writes={b"a": b"2"},
+                 invoked=2.0, returned=3.0),
+        TxnEvent(2, reads={b"a": b"2", b"b": b"1"}, writes={},
+                 invoked=4.0, returned=5.0),
+        TxnEvent(3, reads={}, writes={b"c": b"9"},
+                 invoked=4.5, returned=None),   # pending: droppable
+    ]
+    ok_pass = check_txn_history(legal).ok
+    # Seeded violation: txn 0 committed {a, b} atomically, but a later
+    # read sees a's new value with b missing — half a transaction.
+    torn = [
+        TxnEvent(0, reads={}, writes={b"a": b"1", b"b": b"1"},
+                 invoked=0.0, returned=1.0),
+        TxnEvent(1, reads={b"a": b"1", b"b": None}, writes={},
+                 invoked=2.0, returned=3.0),
+    ]
+    torn_report = check_txn_history(torn)
+    return (ok_pass and not torn_report.ok), torn_report

@@ -516,6 +516,128 @@ def cmd_shard(args) -> int:
     return 0 if audit.ok else 1
 
 
+def cmd_txn(args) -> int:
+    """Drive the cross-shard transaction plane (docs/TRANSACTIONS.md):
+    seeded clients run multi-key read/write transactions under the
+    chosen concurrency control ("occ" or "2pl"), then report commit and
+    abort counters, the per-stage coordinator time split, lock-table
+    traffic, and a txn-granular strict-serializability audit."""
+    import json as _json
+    from random import Random
+
+    from .analysis.linearize import TxnHistoryRecorder, check_txn_recorder
+    from .txn import TxnConfig, TxnOp
+    from .workloads.cluster import Cluster
+
+    cluster = Cluster(args.nodes, config=CONFIGS[args.config](),
+                      seed=args.seed)
+    cluster.add_shards(num_shards=args.shards, replication=args.replication,
+                       window=args.window, message_size=args.size)
+    cluster.build()
+    plane = cluster.txn(TxnConfig(cc=args.cc))
+    router = plane.router
+    sim = cluster.sim
+
+    recorder = TxnHistoryRecorder()
+    latencies: List[float] = []
+    outcomes: List[str] = []
+    span = [0.0]  # time of the last txn completion (workload span)
+
+    def client(c: int):
+        rng = Random(args.seed * 6151 + c)
+        for i in range(args.txns):
+            keys = sorted({b"k%d" % rng.randrange(args.keys)
+                           for _ in range(args.ops)})
+            ops, writes = [], {}
+            for key in keys:
+                if rng.random() < args.read_ratio:
+                    ops.append(TxnOp("get", key))
+                else:
+                    value = b"c%d.t%d" % (c, i)
+                    ops.append(TxnOp("put", key, value))
+                    writes[key] = value
+            tid = recorder.invoke(c, sim.now)
+            t0 = sim.now
+            out = yield from plane.run_txn(ops, coordinator_node=0)
+            outcomes.append(out.status)
+            span[0] = max(span[0], sim.now)
+            if out.status == "committed":
+                latencies.append(sim.now - t0)
+                reads = {op.key: value for op, value in
+                         zip([o for o in ops if o.op == "get"], out.reads)}
+                recorder.complete(tid, sim.now, reads=reads, writes=writes)
+            else:
+                recorder.drop(tid)
+            yield us(args.gap_us)
+
+    for c in range(args.clients):
+        cluster.spawn_sender(client(c), name=f"txn-client-{c}")
+    cluster.run_to_quiescence(max_time=args.max_time)
+
+    c = plane.counters
+    stages = plane.stage_seconds()
+    locks = plane.lock_counters()
+    audit = check_txn_recorder(recorder)
+    shard_audit = router.verifier.check()
+    duration = span[0]
+    tps = c.committed / duration if duration > 0 else 0.0
+    latencies.sort()
+
+    def pct(p: float) -> float:
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1,
+                             int(p * (len(latencies) - 1)))]
+
+    ok = audit.ok and shard_audit.ok
+    if args.json:
+        print(_json.dumps({
+            "cc": args.cc,
+            "committed": c.committed,
+            "aborted": c.aborted,
+            "counters": c.to_dict(),
+            "locks": locks,
+            "stage_seconds": stages,
+            "throughput_tps": tps,
+            "p50_latency_us": pct(0.50) * 1e6,
+            "p99_latency_us": pct(0.99) * 1e6,
+            "serializability": audit.to_dict(),
+            "shard_audit": shard_audit.to_dict(),
+            "duration": duration,
+        }, indent=2, sort_keys=True))
+        return 0 if ok else 1
+
+    print(format_table(["txn metric", "value"], [
+        ["concurrency control", args.cc],
+        ["committed", str(c.committed)],
+        ["aborted", str(c.aborted)],
+        ["attempts", str(c.attempts)],
+        ["fastpath commits", str(c.fastpath_commits)],
+        ["validation aborts", str(c.validation_aborts)],
+        ["wound/wait aborts", str(c.wound_aborts)],
+        ["prepare 'no' votes", str(c.prepare_aborts)],
+        ["prepares / settles", f"{c.prepares_sent} / {c.settles_sent}"],
+        ["WAL records", str(c.wal_records)],
+        ["throughput (txn/s)", f"{tps:,.0f}"],
+        ["p50 / p99 latency (us)",
+         f"{pct(0.50) * 1e6:.1f} / {pct(0.99) * 1e6:.1f}"],
+    ]))
+    print(format_table(["stage", "coordinator seconds"], [
+        [stage, f"{seconds * 1e3:.3f} ms"]
+        for stage, seconds in sorted(stages.items())]))
+    if args.cc == "2pl":
+        print(f"locks: {locks['acquired']} acquired, {locks['wounds']} "
+              f"wounds, {locks['waits']} waits, {locks['wait_aborts']} "
+              f"wait aborts")
+    print(f"strict serializability: {'ok' if audit.ok else 'FAIL'} "
+          f"({audit.ops_checked} txns, {audit.keys_checked} keys)"
+          + (f" violations: {audit.violations[:2]}" if audit.violations
+             else ""))
+    print(f"cross-shard audit: {'ok' if shard_audit.ok else 'FAIL'} "
+          f"({shard_audit.shards_checked} shards)")
+    return 0 if ok else 1
+
+
 def cmd_lint(args) -> int:
     from .analysis.lint import format_report, lint_paths
     from .analysis.lint.findings import format_baseline
@@ -753,6 +875,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="machine-readable report")
     p.set_defaults(fn=cmd_shard)
+
+    p = sub.add_parser(
+        "txn",
+        help="cross-shard transactions under OCC or 2PL "
+             "(docs/TRANSACTIONS.md)")
+    p.add_argument("--cc", choices=("occ", "2pl"), default="occ",
+                   help="concurrency control protocol")
+    p.add_argument("--clients", type=int, default=4,
+                   help="concurrent transaction clients")
+    p.add_argument("--txns", type=int, default=15,
+                   help="transactions per client")
+    p.add_argument("--ops", type=int, default=3,
+                   help="operations per transaction")
+    p.add_argument("--keys", type=int, default=64,
+                   help="key-space size (smaller = more contention)")
+    p.add_argument("--read-ratio", type=float, default=0.5,
+                   help="probability an op is a read")
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--nodes", type=int, default=6)
+    p.add_argument("--replication", type=int, default=2)
+    p.add_argument("--window", type=int, default=16)
+    p.add_argument("--size", type=int, default=512,
+                   help="multicast message size in bytes")
+    p.add_argument("--gap-us", type=float, default=50.0,
+                   help="client think time between txns (us)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--config", choices=sorted(CONFIGS), default="optimized")
+    p.add_argument("--max-time", type=float, default=5.0,
+                   help="quiescence guard (simulated seconds)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    p.set_defaults(fn=cmd_txn)
 
     p = sub.add_parser(
         "lint",

@@ -134,6 +134,11 @@ class FaultPlane:
         #: rejoin automatically (docs/RECOVERY.md), or install a joined
         #: view by hand.
         self.on_restart: List[Callable[[int], None]] = []
+        #: Fired as ``callback(node_id)`` immediately after a crash
+        #: lands (NIC dead, threads killed, storage write caches
+        #: dropped). The txn plane subscribes to amputate driver
+        #: processes whose coordinator host died (docs/TRANSACTIONS.md).
+        self.on_crash: List[Callable[[int], None]] = []
         #: Fired as ``callback()`` after each partition/sever heals.
         self.on_heal: List[Callable[[], None]] = []
         for node in self.fabric.nodes.values():
@@ -371,6 +376,8 @@ class FaultPlane:
         if self.fabric.nodes[node].alive:
             self.cluster.fail_node(node)
             self.crashes += 1
+            for callback in self.on_crash:
+                callback(node)
 
     def _do_storage_fault(self, event: StorageFaultEvent) -> None:
         """Arm a storage failure mode on the node's device(s). Devices

@@ -1301,6 +1301,423 @@ def scenario_rebalance_under_load(seed: int) -> ScenarioResult:
     return res
 
 
+# ===========================================================================
+# Transaction-plane scenarios (docs/TRANSACTIONS.md)
+# ===========================================================================
+
+
+def _txn_keys_in_distinct_subgroups(router, prefix: bytes,
+                                    count: int = 2) -> List[bytes]:
+    """Deterministically derive ``count`` keys that land in pairwise
+    distinct subgroups (so a txn over them is genuinely multi-shard)."""
+    found: Dict[int, bytes] = {}
+    i = 0
+    while len(found) < count and i < 4096:
+        key = prefix + b"%d" % i
+        sg = router.map.subgroup_of_key(key)
+        if sg not in found:
+            found[sg] = key
+        i += 1
+    return [found[sg] for sg in sorted(found)]
+
+
+def _txn_key_in_shard(router, prefix: bytes, shard: int) -> bytes:
+    for i in range(65536):
+        key = prefix + b"%d" % i
+        if router.map.shard_of(key) == shard:
+            return key
+    raise RuntimeError(f"no {prefix!r} key hashes into shard {shard}")
+
+
+def _txn_final_state_read(h, router, recorder) -> None:
+    """One synthetic snapshot txn observing every audited key across
+    all shards (gateway replicas, one shared instant): the cross-shard
+    observation that forces torn transactions into the open."""
+    keys = set()
+    for txn in recorder.history():
+        keys.update(txn.reads)
+        keys.update(txn.writes)
+    state = {}
+    for key in sorted(keys):
+        sg = router.map.subgroup_of_key(key)
+        state[key] = router.service.gateway_replica(sg).read(key)
+    recorder.record_state_read(999, state, h.cluster.sim.now)
+
+
+def _finish_txn_audit(problems: List[str], notes: List[str],
+                      recorder) -> dict:
+    """Self-test the txn auditor, then run the strict-serializability
+    check; fold violations into the scenario verdict."""
+    from ..analysis.linearize import check_txn_recorder, txn_selftest
+
+    selftest_ok, _ = txn_selftest()
+    if not selftest_ok:
+        problems.append("txn serializability auditor failed its self-test")
+    report = check_txn_recorder(recorder)
+    if not report.ok:
+        problems.extend(
+            f"strict serializability: {v}" for v in report.violations[:5])
+    notes.append(
+        f"strict serializability: {report.ops_checked} txns / "
+        f"{report.keys_checked} keys ({report.pending_ops} pending): "
+        f"{'ok' if report.ok else 'VIOLATION'}")
+    return report.to_dict()
+
+
+def scenario_txn_coordinator_crash(seed: int) -> ScenarioResult:
+    """Crash the transaction coordinator's host mid-commit: node 4 (no
+    subgroup membership — a pure coordinator) drives single-shard
+    fast-path txns plus two multi-shard txns when it crash-stops with a
+    DECISION fsynced but the settle round not yet driven. The prepared
+    shards must hold their buffered writes pinned until the restarted
+    node's :func:`repro.txn.recover.recover_txns` pass re-drives the
+    WAL's logged verdicts — no acked write lost, no transaction torn
+    across shards, and the txn-granular strict-serializability audit
+    must pass over the whole run."""
+    from ..analysis.linearize import TxnHistoryRecorder
+    from ..txn import TxnConfig, TxnOp
+    from ..txn.recover import recover_txns
+
+    # 2 subgroups x replication 2 consume nodes 0-3; node 4 hosts only
+    # the coordinator (and its WAL device).
+    h = _ShardHarness(5, seed, num_shards=4, replication=2,
+                      num_subgroups=2, window=8)
+    cluster = h.cluster
+    coord = 4
+    # The stretched settle window pins the crash mid-commit: DECISION
+    # lands within ~300us, the crash at 1ms, the settle only at ~2.5ms.
+    plane = cluster.txn(TxnConfig(cc="occ", settle_delay=ms(2.5)))
+    router = plane.router
+    sim = cluster.sim
+    recorder = TxnHistoryRecorder()
+    expected: Dict[bytes, bytes] = {}
+    outcomes: List[tuple] = []
+
+    def bg_client(c: int, count: int):
+        for i in range(count):
+            key = b"bg%d.k%d" % (c, i)
+            value = b"v%d.%d" % (c, i)
+            tid = recorder.invoke(100 + c, sim.now)
+            recorder.pending_writes(tid, {key: value})
+            out = yield from plane.run_txn(
+                [TxnOp("put", key, value)], coordinator_node=coord)
+            if out.status == "committed":
+                recorder.complete(tid, sim.now, writes={key: value})
+                expected[key] = value
+            else:
+                recorder.drop(tid)
+            outcomes.append((c, i, out.status, out.attempts))
+            if i > 0:
+                prev = b"bg%d.k%d" % (c, i - 1)
+                rid = recorder.invoke(100 + c, sim.now)
+                rout = yield from plane.run_txn(
+                    [TxnOp("get", prev)], coordinator_node=coord)
+                if rout.status == "committed":
+                    recorder.complete(rid, sim.now,
+                                      reads={prev: rout.reads[0]})
+                else:
+                    recorder.drop(rid)
+            yield us(60)
+
+    for c in range(2):
+        proc = cluster.spawn_sender(bg_client(c, 10), name=f"txn-bg-{c}")
+        plane.adopt(coord, proc)
+
+    # Pinned multi-shard txn: committed (DECISION=commit fsynced) but
+    # the client dies inside the settle window — recovery must re-drive
+    # the commit to every participant.
+    pin_keys = _txn_keys_in_distinct_subgroups(router, b"pin.")
+    pin_writes = {pin_keys[0]: b"PIN-A", pin_keys[1]: b"PIN-B"}
+    pin_tid = recorder.invoke(50, 0.0)
+    recorder.pending_writes(pin_tid, pin_writes)
+    plane.spawn_txn([TxnOp("put", k, v) for k, v in sorted(pin_writes.items())],
+                    coordinator_node=coord, name="pinned-txn")
+
+    # Doomed multi-shard txn launched 50us before the crash: depending
+    # on seed timing it dies pre-BEGIN (invisible), pre-DECISION
+    # (presumed abort) or post-DECISION (re-driven) — all must leave
+    # the store atomic.
+    doom_keys = _txn_keys_in_distinct_subgroups(router, b"doom.")
+    doom_writes = {doom_keys[0]: b"DOOM-A", doom_keys[1]: b"DOOM-B"}
+
+    def doomed():
+        yield us(950)
+        tid = recorder.invoke(51, sim.now)
+        recorder.pending_writes(tid, doom_writes)
+        out = yield from plane.run_txn(
+            [TxnOp("put", k, v) for k, v in sorted(doom_writes.items())],
+            coordinator_node=coord)
+        if out.status == "committed":
+            recorder.complete(tid, sim.now, writes=dict(doom_writes))
+
+    plane.adopt(coord, cluster.spawn_sender(doomed(), name="doomed-txn"))
+
+    cluster.faults.crash(coord, at=ms(1), restart_at=ms(4))
+    reports: List = []
+
+    def on_restart(node: int) -> None:
+        if node != coord:
+            return
+
+        def recovery_pass():
+            rep = yield from recover_txns(plane, node=coord)
+            reports.append(rep)
+
+        cluster.spawn_sender(recovery_pass(), name="txn-recovery")
+
+    cluster.faults.on_restart.append(on_restart)
+
+    # Post-recovery liveness: the restarted coordinator must still
+    # commit a fresh multi-shard txn through the same plane.
+    post: List = []
+
+    def post_client():
+        yield ms(5)
+        keys = _txn_keys_in_distinct_subgroups(router, b"post.")
+        writes = {keys[0]: b"POST-A", keys[1]: b"POST-B"}
+        tid = recorder.invoke(52, sim.now)
+        recorder.pending_writes(tid, writes)
+        out = yield from plane.run_txn(
+            [TxnOp("put", k, v) for k, v in sorted(writes.items())],
+            coordinator_node=coord)
+        post.append(out)
+        if out.status == "committed":
+            recorder.complete(tid, sim.now, writes=writes)
+            expected.update(writes)
+
+    # Not adopted: it sleeps through the crash and drives its txn only
+    # after the restart+recovery window.
+    cluster.spawn_sender(post_client(), name="txn-post")
+
+    cluster.run(until=ms(12))
+
+    problems: List[str] = []
+    if cluster.faults.crashes != 1:
+        problems.append("coordinator crash never fired")
+    if cluster.faults.restarts != 1:
+        problems.append("coordinator restart never fired")
+    if not reports:
+        problems.append("recovery pass never ran")
+        rep = None
+    else:
+        rep = reports[0]
+        if not rep.ok:
+            problems.extend(f"recovery: {p}" for p in rep.problems[:5])
+        if rep.scanned < 1:
+            problems.append("recovery scanned an empty WAL")
+        if rep.redriven < 1:
+            problems.append("no txn was re-driven "
+                            "(crash missed the settle window)")
+    # The pinned txn passed its commit point: recovery must have landed
+    # its writes on every participant.
+    expected.update(pin_writes)
+    if plane.counters.recovered_settles < 2:
+        problems.append("recovery drove fewer settles than the pinned "
+                        "txn's participant count")
+    # Atomicity of the doomed txn: all-or-nothing across its shards.
+    present = [router.service.gateway_replica(
+        router.map.subgroup_of_key(k)).read(k) is not None
+        for k in doom_keys]
+    if any(present) and not all(present):
+        problems.append(f"doomed txn torn across shards: {present}")
+    if all(present):
+        expected.update(doom_writes)
+    # No prepared residue anywhere after recovery.
+    for (sg, nid), replica in sorted(router.service.replicas.items()):
+        if replica.txn_prepared:
+            problems.append(f"sg{sg}@node{nid} left prepared txns "
+                            f"{sorted(replica.txn_prepared)}")
+        if replica.txn_locks:
+            problems.append(f"sg{sg}@node{nid} left txn locks "
+                            f"{sorted(replica.txn_locks)}")
+    not_ok = [o for o in outcomes if o[2] != "committed"]
+    if not_ok:
+        problems.append(f"{len(not_ok)} acked background txns did not "
+                        f"commit (first: {not_ok[0]})")
+    if not post or post[0].status != "committed":
+        problems.append("post-recovery txn did not commit "
+                        "(coordinator not live after restart)")
+    h.check_census(problems, router, expected)
+    h.check_subgroup_logs_identical(problems)
+    audit = router.verifier.check()
+    if not audit.ok:
+        problems.extend(f"shard audit: {v}" for v in audit.violations[:5])
+    c = plane.counters
+    notes = [f"txns: {c.committed} committed / {c.aborted} aborted, "
+             f"{c.fastpath_commits} fastpath, {c.wal_records} WAL records",
+             f"recovery: scanned {rep.scanned}, redriven {rep.redriven}, "
+             f"presumed-abort {rep.presumed_abort}, completed "
+             f"{rep.completed}" if rep is not None else "recovery: none",
+             f"recovered settles {c.recovered_settles}, doomed txn "
+             f"{'committed' if all(present) else 'aborted'}"]
+    _txn_final_state_read(h, router, recorder)
+    lin = _finish_txn_audit(problems, notes, recorder)
+    res = h.result("txn-coordinator-crash", seed, problems, notes)
+    res.linearizability = lin
+    return res
+
+
+def scenario_txn_rebalance_open(seed: int) -> ScenarioResult:
+    """Live shard migration racing an open transaction: 2PL clients
+    stream conflicting multi-shard txns while a pinned txn deliberately
+    holds a *prepared* record on the shard being migrated. The migration
+    must wait out the prepared txn (``prepared_waits``) because its
+    buffered writes live outside the snapshot — and the settle that
+    releases it must cut through the frozen router lane (the reserved
+    settle lane), or the two would deadlock. Zero write loss, clean
+    checksum hand-off, and a passing strict-serializability audit."""
+    from ..analysis.linearize import TxnHistoryRecorder
+    from ..txn import TxnConfig, TxnOp
+
+    h = _ShardHarness(6, seed, num_shards=6, replication=2,
+                      num_subgroups=3, window=8)
+    cluster = h.cluster
+    plane = cluster.txn(TxnConfig(cc="2pl", settle_delay=us(800),
+                                  max_attempts=40))
+    router = plane.router
+    service = router.service
+    sim = cluster.sim
+    recorder = TxnHistoryRecorder()
+    expected: Dict[bytes, bytes] = {}
+    outcomes: List[tuple] = []
+
+    def bg_client(c: int, count: int):
+        for i in range(count):
+            own = b"t%d.k%d" % (c, i)
+            value = b"v%d.%d" % (c, i)
+            shared = b"shared.%d" % (i % 2)
+            if c == 0 and i % 3 == 0:
+                # Writer txn: X-locks the shared key, wounding/blocking
+                # the reader clients (wound-wait exercise).
+                ops = [TxnOp("put", own, value),
+                       TxnOp("put", shared, b"s%d.%d" % (c, i))]
+            else:
+                ops = [TxnOp("put", own, value), TxnOp("get", shared)]
+            tid = recorder.invoke(100 + c, sim.now)
+            out = yield from plane.run_txn(ops, coordinator_node=0)
+            outcomes.append((c, i, out.status, out.attempts))
+            if out.status == "committed":
+                writes = {op.key: op.value for op in ops if op.op == "put"}
+                reads = ({shared: out.reads[0]}
+                         if out.reads else {})
+                recorder.complete(tid, sim.now, reads=reads, writes=writes)
+                for k, v in writes.items():
+                    expected[k] = v
+            else:
+                recorder.drop(tid)
+            yield us(120)
+
+    for c in range(3):
+        cluster.spawn_sender(bg_client(c, 10), name=f"txn-2pl-{c}")
+
+    records: List = []
+    pin_sink: List = []
+    driver_problems: List[str] = []
+
+    def driver():
+        yield ms(1.2)
+        src = router.map.subgroup_ids[0]
+        shards = router.map.shards_of_subgroup(src)
+        shard = max(shards, key=lambda s: (
+            len(service.shard_items(s, router.map)), -s))
+        ids = router.map.subgroup_ids
+        target = ids[(ids.index(src) + 1) % len(ids)]
+        # Pinned txn: one write in the migrating shard, one in the
+        # target subgroup — multi-shard, so it holds a prepared record
+        # through the stretched settle window.
+        key_a = _txn_key_in_shard(router, b"pin.", shard)
+        key_b = _txn_key_in_shard(
+            router, b"pin2.", router.map.shards_of_subgroup(target)[0])
+        pin_writes = {key_a: b"PIN-A", key_b: b"PIN-B"}
+
+        def pinned():
+            tid = recorder.invoke(50, sim.now)
+            out = yield from plane.run_txn(
+                [TxnOp("put", k, v) for k, v in sorted(pin_writes.items())],
+                coordinator_node=0)
+            pin_sink.append(out)
+            if out.status == "committed":
+                recorder.complete(tid, sim.now, writes=dict(pin_writes))
+                expected.update(pin_writes)
+
+        cluster.spawn_sender(pinned(), name="pinned-open-txn")
+        # Only migrate once the pinned txn is provably prepared on the
+        # source — the race this scenario exists to exercise.
+        source_rep = service.gateway_replica(src)
+        for _ in range(4000):
+            if source_rep.prepared_txns_touching(shard, router.map):
+                break
+            yield us(5)
+        else:
+            driver_problems.append(
+                "pinned txn never reached prepared state on the source")
+        record = yield from router.rebalancer.migrate(shard, target)
+        records.append(record)
+
+    cluster.spawn_sender(driver(), name="txn-rebalance-driver")
+    try:
+        cluster.run_to_quiescence(max_time=2.0)
+    except RuntimeError as exc:
+        cluster.run()
+        return h.result("txn-rebalance-open", seed,
+                        [f"no quiescence: {exc}"])
+
+    problems: List[str] = list(driver_problems)
+    if not records:
+        problems.append("migration driver never completed")
+    else:
+        rec = records[0]
+        if not rec.ok:
+            problems.append(f"migration failed: {rec.error}")
+        if not rec.crc_ok:
+            problems.append("hand-off transfer CRC did not validate")
+        if not rec.checksum_agree:
+            problems.append("target replicas disagree with the source "
+                            "checksum")
+        if rec.keys_moved < 1:
+            problems.append("migration moved no keys")
+        if rec.prepared_waits < 1:
+            problems.append("migration never waited on the prepared txn "
+                            "(the race was not exercised)")
+    if not pin_sink or pin_sink[0].status != "committed":
+        problems.append("pinned txn did not commit across the migration")
+    not_ok = [o for o in outcomes if o[2] != "committed"]
+    if not_ok:
+        problems.append(f"{len(not_ok)} txns did not commit "
+                        f"(first: {not_ok[0]})")
+    total = 3 * 10
+    if len(outcomes) != total:
+        problems.append(f"only {len(outcomes)}/{total} txns returned")
+    if router.counters.settle_reserved < 1:
+        problems.append("no settle rode the reserved router lane")
+    h.check_census(problems, router, expected)
+    h.check_subgroup_logs_identical(problems)
+    audit = router.verifier.check()
+    if not audit.ok:
+        problems.extend(f"shard audit: {v}" for v in audit.violations[:5])
+    c = plane.counters
+    locks = plane.lock_counters()
+    notes = []
+    if records:
+        rec = records[0]
+        notes.append(
+            f"shard {rec.shard}: sg{rec.source_subgroup} -> "
+            f"sg{rec.target_subgroup}, {rec.keys_moved} keys, "
+            f"prepared waits {rec.prepared_waits}")
+    notes.append(
+        f"txns: {c.committed} committed / {c.aborted} aborted in "
+        f"{c.attempts} attempts; locks: {locks['acquired']} acquired, "
+        f"{locks['wounds']} wounds, {locks['wait_aborts']} wait aborts")
+    notes.append(
+        f"settles through reserved lane: "
+        f"{router.counters.settle_reserved}")
+    _txn_final_state_read(h, router, recorder)
+    lin = _finish_txn_audit(problems, notes, recorder)
+    res = h.result("txn-rebalance-open", seed, problems, notes)
+    res.linearizability = lin
+    return res
+
+
 #: name -> scenario function. Ordering is the CLI's ``--all`` ordering.
 SCENARIOS: Dict[str, Callable[[int], ScenarioResult]] = {
     "partition-heal": scenario_partition_heal,
@@ -1319,6 +1736,8 @@ SCENARIOS: Dict[str, Callable[[int], ScenarioResult]] = {
     "power-loss-paxos": scenario_power_loss_paxos,
     "shard-failover": scenario_shard_failover,
     "rebalance-under-load": scenario_rebalance_under_load,
+    "txn-coordinator-crash": scenario_txn_coordinator_crash,
+    "txn-rebalance-open": scenario_txn_rebalance_open,
 }
 
 

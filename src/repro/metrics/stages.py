@@ -39,11 +39,24 @@ __all__ = [
     "STAGE_DELIVERY_UPCALL", "STAGE_SEND_PREDICATE",
     "STAGE_DELIVERY_PREDICATE", "STAGE_OTHER_PREDICATE",
     "PARTITION_STAGES", "NESTED_STAGES",
+    "TXN_STAGE_TIME", "TXN_STAGE_EXECUTE", "TXN_STAGE_VALIDATE_OR_LOCK",
+    "TXN_STAGE_PREPARE", "TXN_STAGE_SETTLE", "TXN_STAGES",
     "stage_profile", "format_stage_profile",
 ]
 
 #: The shared stage-timer metric name.
 STAGE_TIME = "spindle_stage_time_seconds"
+
+# -- transaction-plane stages (docs/TRANSACTIONS.md) ------------------------
+#: Per-stage timer of the txn coordinator:
+#: ``spindle_txn_stage_seconds{stage=...}``.
+TXN_STAGE_TIME = "spindle_txn_stage_seconds"
+TXN_STAGE_EXECUTE = "execute"                   # reads + write buffering
+TXN_STAGE_VALIDATE_OR_LOCK = "validate_or_lock"  # OCC fences / 2PL acquires
+TXN_STAGE_PREPARE = "prepare"                   # per-shard ordered prepares
+TXN_STAGE_SETTLE = "settle"                     # commit/abort settle round
+TXN_STAGES = (TXN_STAGE_EXECUTE, TXN_STAGE_VALIDATE_OR_LOCK,
+              TXN_STAGE_PREPARE, TXN_STAGE_SETTLE)
 
 # -- the five stages the paper names ----------------------------------------
 STAGE_SEND_SLOT_ACQUIRE = "send_slot_acquire"    # §4.1.1 sender wait

@@ -40,6 +40,8 @@ __all__ = [
     "VsyncReport",
     "PowerLossReport",
     "recover_power_loss",
+    "TxnRecoveryReport",
+    "recover_txns",
 ]
 
 _HOMES = {
@@ -58,6 +60,10 @@ _HOMES = {
     "VsyncReport": "verify",
     "PowerLossReport": "powerloss",
     "recover_power_loss": "powerloss",
+    # Coordinator-crash txn recovery lives with the txn plane but is
+    # part of the recovery surface (docs/TRANSACTIONS.md).
+    "TxnRecoveryReport": "repro.txn.recover",
+    "recover_txns": "repro.txn.recover",
 }
 
 if TYPE_CHECKING:  # pragma: no cover - typing aid only
@@ -67,6 +73,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing aid only
                            decode_entries, encode_entries)
     from .trim import TrimDecision, TrimLedger, compute_trim
     from .verify import VsyncReport, VsyncVerifier
+    from ..txn.recover import TxnRecoveryReport, recover_txns  # noqa: F401
 
 
 def __getattr__(name):
@@ -75,7 +82,10 @@ def __getattr__(name):
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
     import importlib
 
-    module = importlib.import_module(f".{home}", __name__)
+    if "." in home:  # absolute home outside this package
+        module = importlib.import_module(home)
+    else:
+        module = importlib.import_module(f".{home}", __name__)
     value = getattr(module, name)
     globals()[name] = value
     return value

@@ -71,6 +71,9 @@ class RebalanceRecord:
     started_at: float = 0.0
     finished_at: float = 0.0
     map_version: int = -1
+    #: Poll rounds spent waiting out prepared-but-unsettled txns
+    #: before the fence (step 2b, docs/TRANSACTIONS.md).
+    prepared_waits: int = 0
     error: Optional[str] = None
     transfer: Optional[dict] = None
 
@@ -89,6 +92,7 @@ class RebalanceRecord:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "map_version": self.map_version,
+            "prepared_waits": self.prepared_waits,
             "error": self.error,
             "transfer": self.transfer,
         }
@@ -148,8 +152,17 @@ class Rebalancer:
         try:
             # 2. drain requests mid-flight on the source subgroup.
             yield from router.drain_executing(shard)
-            # 3. fence: all source replicas reach identical shard state.
+            # 2b. drain prepared-but-unsettled txns touching this shard:
+            #     their buffered writes live outside `data`, so a
+            #     snapshot taken now would strand them on the source.
+            #     Settles still flow while frozen (the router's reserved
+            #     lane executes them through the freeze), so this
+            #     terminates; record how long we waited for the audit.
             source_rep = service.gateway_replica(source_sg)
+            while source_rep.prepared_txns_touching(shard, router.map):
+                record.prepared_waits += 1
+                yield self.settle_poll
+            # 3. fence: all source replicas reach identical shard state.
             yield from source_rep.fence_req()
             # 4. snapshot + checksum on the source, then chunked pull
             #    into the target gateway. Any live source member can

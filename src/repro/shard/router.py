@@ -47,7 +47,11 @@ from .shardmap import ShardMap
 __all__ = ["RouterConfig", "ShardBusy", "RequestOutcome", "ShardRouter"]
 
 _WRITE_OPS = ("put", "delete", "cas")
-_OPS = _WRITE_OPS + ("get",)
+#: Transaction-plane ops (repro.txn): the payload is a pre-encoded txn
+#: record, routed by an explicit shard instead of a key. Settles ride a
+#: reserved admission lane — see :meth:`ShardRouter._enqueue`.
+_TXN_OPS = ("txn_prepare", "txn_settle")
+_OPS = _WRITE_OPS + ("get",) + _TXN_OPS
 
 
 @dataclass(frozen=True)
@@ -143,6 +147,8 @@ class RouterCounters:
     epoch_retries: int = 0
     wedge_aborts: int = 0
     stale_reads: int = 0
+    #: Settle messages admitted through the reserved lane.
+    settle_reserved: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -156,6 +162,7 @@ class RouterCounters:
             "epoch_retries": self.epoch_retries,
             "wedge_aborts": self.wedge_aborts,
             "stale_reads": self.stale_reads,
+            "settle_reserved": self.settle_reserved,
         }
 
 
@@ -218,13 +225,19 @@ class ShardRouter:
 
     def request(self, op: str, key: bytes, value: bytes = b"",
                 expected: bytes = b"",
-                deadline: Optional[float] = None) -> Generator:
+                deadline: Optional[float] = None,
+                shard: Optional[int] = None) -> Generator:
         """Client generator: submit with idempotent retry/backoff.
 
         Allocates the request id once — every resubmission (admission
         reject, view-change requeue) reuses it, so the state transition
         is applied at most once no matter how the retries land.
         Returns a :class:`RequestOutcome`.
+
+        Txn ops ("txn_prepare"/"txn_settle") pass the encoded record as
+        ``value`` and route by explicit ``shard`` (a txn record may
+        touch many keys of one shard); their exactly-once contract is
+        txn-id verdict memory on the replica rather than rid dedup.
         """
         if op not in _OPS:
             raise ValueError(f"unknown router op {op!r}")
@@ -232,7 +245,10 @@ class ShardRouter:
         if op in _WRITE_OPS:
             self._rid_counter += 1
             rid = self._rid_counter
-        shard = self.map.shard_of(key)
+        if shard is None:
+            shard = self.map.shard_of(key)
+        elif op not in _TXN_OPS:
+            raise ValueError("explicit shard routing is txn-only")
         state = _RequestState(
             rid, op, key, value, expected, shard,
             Event(self.sim, name=f"router.req{rid or 'g'}.{shard}"),
@@ -284,6 +300,18 @@ class ShardRouter:
         cfg = self.config
         shard = state.shard
         queue = self._queues[shard]
+        if state.op == "txn_settle":
+            # Reserved lane: a prepared-but-unsettled txn pins keys on
+            # the replica, so its settle must never be starved by the
+            # very backlog those pins create — skip the queue bound and
+            # the congestion check (settles are bounded by in-flight
+            # prepares, which *did* pass admission).
+            state.enqueued_at = self.sim.now
+            queue.append(state)
+            self.counters.accepted += 1
+            self.counters.settle_reserved += 1
+            self._bells[shard].ring()
+            return
         if len(queue) >= cfg.queue_depth:
             self._reject(shard, "queue_full")
         if shard not in self._frozen:
@@ -313,10 +341,20 @@ class ShardRouter:
         while True:
             if self._epoch_id != epoch:
                 return
-            if shard in self._frozen or not queue:
+            if shard in self._frozen:
+                # A frozen shard (mid-rebalance) still executes settle
+                # messages: the migration's prepared-txn drain barrier
+                # waits on exactly those, so parking them with the rest
+                # of the queue would deadlock the hand-off.
+                state = self._pop_settle(queue)
+                if state is None:
+                    yield bell.wait()
+                    continue
+            elif not queue:
                 yield bell.wait()
                 continue
-            state = queue.popleft()
+            else:
+                state = queue.popleft()
             now = self.sim.now
             if state.deadline is not None and now > state.deadline:
                 self.counters.timeouts += 1
@@ -343,10 +381,22 @@ class ShardRouter:
             self.counters.completed += 1
             state.event.trigger(result)
 
+    def _pop_settle(self, queue: Deque[_RequestState]
+                    ) -> Optional[_RequestState]:
+        """Remove and return the oldest queued settle, if any."""
+        for state in queue:
+            if state.op == "txn_settle":
+                queue.remove(state)
+                return state
+        return None
+
     def _execute(self, shard: int, state: _RequestState):
         sg = self.map.subgroup_of(shard)
         replica = self.service.gateway_replica(sg)
         duplicate = False
+        if state.op in _TXN_OPS:
+            out = yield from replica.txn_req(state.value)
+            return RequestOutcome("ok", out, state.attempts, shard)
         if state.op == "put":
             out = yield from replica.put_req(state.rid, state.key,
                                              state.value)
@@ -482,6 +532,9 @@ class ShardRouter:
             registry.counter("spindle_router_stale_reads_total",
                              "stale fast-path reads served"
                              ).set_to(c.stale_reads)
+            registry.counter("spindle_router_settle_reserved_total",
+                             "txn settles admitted via the reserved lane"
+                             ).set_to(c.settle_reserved)
             duplicates = sum(r.duplicates_skipped
                              for r in self.service.replicas.values())
             registry.counter("spindle_router_duplicates_total",

@@ -31,6 +31,13 @@ from typing import Dict, Generator, List, Optional, Tuple
 
 from ..apps.kvstore import OP_CAS, OP_DELETE, OP_FENCE, OP_PUT, KvCommand, KvNode
 from ..core.multicast import Delivery
+from ..txn.records import (
+    W_PUT,
+    PrepareRecord,
+    SettleRecord,
+    decode_txn_record,
+    is_txn_payload,
+)
 from .shardmap import ShardMap
 
 __all__ = ["ShardReplica", "ShardedKv", "frame_request", "unframe_request"]
@@ -65,6 +72,27 @@ class ShardReplica(KvNode):
         self.seen_requests: set = set()
         #: deliveries suppressed by rid dedup (retry landed twice).
         self.duplicates_skipped = 0
+        # -- transaction state (docs/TRANSACTIONS.md) -----------------------
+        # All three maps key by (txn_id, shard), not txn_id alone: a
+        # replica can legitimately host two shards of the same txn
+        # (co-hashed shards, or a migration landing a second participant
+        # shard on this subgroup), and each per-shard slice must be
+        # decided and settled independently.
+        #: (txn_id, shard) -> PrepareRecord whose writes are buffered
+        #: awaiting the settle verdict.
+        self.txn_prepared: Dict[Tuple[int, int], PrepareRecord] = {}
+        #: key -> txn_id holding the prepared lock (blocks conflicting
+        #: prepares until the settle releases it).
+        self.txn_locks: Dict[bytes, int] = {}
+        #: (txn_id, shard) -> original prepare vote ("yes"/"no");
+        #: replayed prepares (retries across view changes) answer with
+        #: this instead of re-deciding — exactly-once txn semantics.
+        self.txn_verdicts: Dict[Tuple[int, int], str] = {}
+        #: (txn_id, shard) -> settle result ("committed"/"aborted"),
+        #: same dedup contract for replayed settles.
+        self.txn_settled: Dict[Tuple[int, int], str] = {}
+        #: txn deliveries answered from verdict memory.
+        self.txn_duplicates = 0
 
     # ---------------------------------------------------------- replication
 
@@ -84,6 +112,15 @@ class ShardReplica(KvNode):
             return
         if rid:
             self.seen_requests.add(rid)
+        if is_txn_payload(inner):
+            outcome = self._apply_txn(inner)
+            self.applied += 1
+            self.apply_log.append((delivery.seq, inner[0], b"txn"))
+            token = self._next_token(delivery)
+            waiter = self._write_waiters.pop(token, None)
+            if waiter is not None:
+                waiter.trigger(outcome)
+            return
         super().apply(Delivery(delivery.subgroup_id, delivery.sender,
                                delivery.sender_rank, delivery.seq,
                                inner, delivery.size))
@@ -99,7 +136,92 @@ class ShardReplica(KvNode):
                 self.duplicates_skipped += 1
                 return
             self.seen_requests.add(rid)
+        if is_txn_payload(inner):
+            self._apply_txn(inner)
+            self.recovered += 1
+            return
         super().apply_command(inner)
+
+    # ------------------------------------------------------- txn transitions
+
+    def _apply_txn(self, inner: bytes) -> str:
+        """Decide a txn record at its delivery position. Pure state
+        transition, deterministic in (state, record) alone, so every
+        replica of the subgroup reaches the same verdict at the same
+        place in the total order (and durable-log replay reproduces
+        it)."""
+        rec = decode_txn_record(inner)
+        if isinstance(rec, SettleRecord):
+            return self._apply_settle(rec)
+        return self._apply_prepare(rec)
+
+    def _apply_prepare(self, rec: PrepareRecord) -> str:
+        slot = (rec.txn_id, rec.shard)
+        if slot in self.txn_verdicts:
+            self.txn_duplicates += 1
+            return self.txn_verdicts[slot]
+        vote = "yes"
+        # A key pinned by another prepared-but-unsettled txn may still
+        # change: conflicting prepares must wait for that settle (the
+        # coordinator retries), so vote no.
+        for key in rec.keys():
+            holder = self.txn_locks.get(key)
+            if holder is not None and holder != rec.txn_id:
+                vote = "no"
+                break
+        if vote == "yes":
+            # Authoritative (in-order) OCC validation: every observed
+            # value must still match committed state.
+            for key, expected in rec.reads:
+                if self.data.get(key) != expected:
+                    vote = "no"
+                    break
+        if vote == "yes":
+            if rec.auto_commit:
+                # No settle will follow: the single-shard fast path
+                # applies its writes here (this order *is* the txn's
+                # atomicity domain); an OCC validate-only slice has no
+                # writes and just certified its reads in-order.
+                self._apply_txn_writes(rec.writes)
+                self.txn_settled[slot] = "committed"
+            else:
+                self.txn_prepared[slot] = rec
+                for key in rec.write_keys():
+                    self.txn_locks[key] = rec.txn_id
+        self.txn_verdicts[slot] = vote
+        return vote
+
+    def _apply_settle(self, rec: SettleRecord) -> str:
+        slot = (rec.txn_id, rec.shard)
+        if slot in self.txn_settled:
+            self.txn_duplicates += 1
+            return self.txn_settled[slot]
+        prepared = self.txn_prepared.pop(slot, None)
+        if prepared is not None:
+            for key in prepared.write_keys():
+                if self.txn_locks.get(key) == rec.txn_id:
+                    del self.txn_locks[key]
+            if rec.commit:
+                self._apply_txn_writes(prepared.writes)
+        result = "committed" if (rec.commit and prepared is not None) \
+            else "aborted"
+        self.txn_settled[slot] = result
+        return result
+
+    def _apply_txn_writes(self, writes) -> None:
+        for wop, key, value in writes:
+            if wop == W_PUT:
+                self.data[key] = value
+            else:
+                self.data.pop(key, None)
+
+    def prepared_txns_touching(self, shard: int,
+                               shard_map: ShardMap) -> List[int]:
+        """Txn ids prepared-but-unsettled with buffered writes or
+        prepared locks on one shard — the rebalance drain barrier."""
+        return sorted({
+            txn_id for (txn_id, _), rec in self.txn_prepared.items()
+            if any(shard_map.shard_of(k) == shard for k in rec.keys())})
 
     # ------------------------------------------------------------- requests
 
@@ -128,6 +250,13 @@ class ShardReplica(KvNode):
     def sync_read_req(self, key: bytes) -> Generator:
         yield from self.fence_req()
         return self.data.get(key)
+
+    def txn_req(self, record: bytes) -> Generator:
+        """Sequence an encoded txn record (prepare/settle) into this
+        subgroup's total order; returns the verdict string decided at
+        delivery. Always rid 0 — txn records dedup by txn id, replying
+        with the *original* verdict instead of ``"duplicate"``."""
+        return self._submit(frame_request(0, record), self._write_waiters)
 
 
 class ShardedKv:

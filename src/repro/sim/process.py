@@ -159,7 +159,11 @@ class Process:
                 )
             self.sim.post_after(yielded, self._step, None)
         elif cls is AtTime:
-            self.sim.post_at(yielded.time, self._step, None)
+            # A process stalled past its target time wakes immediately:
+            # "at t" with t already gone means "as soon as possible"
+            # (chaos stalls suspend threads across arbitrary windows).
+            self.sim.post_at(max(yielded.time, self.sim.now),
+                             self._step, None)
         elif isinstance(yielded, Event):
             yielded.add_waiter(self._on_event)
         elif yielded is None:

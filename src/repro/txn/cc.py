@@ -1,0 +1,194 @@
+"""Pluggable concurrency control for the transaction plane.
+
+One interface, two protocols (docs/TRANSACTIONS.md):
+
+* :class:`OccControl` — optimistic: execute against stale gateway
+  reads, no locks, no waiting — conflicting txns abort and retry. The
+  authoritative validation rides the shard orders: write-shard prepare
+  slices re-check their reads at delivery, and read-only shards get a
+  settle-free validate-only slice *after* every write shard holds its
+  prepared locks (lock-then-validate, FaRM-style — a reader that could
+  observe a half-committed txn trips the writer's prepared lock and
+  aborts). The coordinator-side **fenced validation read** (one
+  ``fence_req`` per read subgroup + local compare, the
+  ``sync_read_req`` path) is an early-abort filter: retries always run
+  it before burning prepare rounds on a stale read set; first attempts
+  only when ``TxnConfig.occ_eager_validate`` is set.
+
+* :class:`TwoPhaseLocking` — pessimistic: S/X key locks from the
+  plane's per-shard :class:`~repro.txn.locks.LockTable` before every
+  access (growing phase), released after the settle round (shrinking
+  phase = strict 2PL). Deadlock avoidance is wound-wait; the acquire
+  charges the ALock-style local/remote delay picked by the plane.
+
+Both buffer writes coordinator-side (read-your-writes served from the
+buffer) and ship them in the prepare record, so the replica-side
+protocol is identical — the CC choice only changes how conflicts are
+*detected* (validation vs locks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from .locks import TxnAborted
+from .records import W_DELETE, W_PUT
+
+__all__ = ["ConcurrencyControl", "OccControl", "TwoPhaseLocking",
+           "resolve_cc", "CC_PROTOCOLS"]
+
+
+class ConcurrencyControl:
+    """Strategy interface: how one txn attempt reads, writes, and
+    clears itself for the prepare round. All generator methods run in
+    the coordinator's simulated process."""
+
+    name = "abstract"
+
+    def read(self, plane, txn, key: bytes) -> Generator:
+        raise NotImplementedError
+
+    def write(self, plane, txn, key: bytes, value: bytes) -> Generator:
+        raise NotImplementedError
+
+    def delete(self, plane, txn, key: bytes) -> Generator:
+        raise NotImplementedError
+
+    def validate(self, plane, txn) -> Generator:
+        """Pre-prepare check; return False to abort before any prepare
+        is sequenced (OCC validation / 2PL wound check)."""
+        raise NotImplementedError
+
+    def finish(self, plane, txn) -> None:
+        """Release whatever the txn holds (called on every exit path)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------ shared helpers
+
+    @staticmethod
+    def _buffered(txn, key: bytes) -> Tuple[bool, Optional[bytes]]:
+        """Read-your-writes: the latest buffered write for ``key``."""
+        for wop, wkey, value in reversed(txn.writes):
+            if wkey == key:
+                return True, (value if wop == W_PUT else None)
+        return False, None
+
+    @staticmethod
+    def _stale_read(plane, key: bytes) -> Optional[bytes]:
+        sg = plane.router.map.subgroup_of_key(key)
+        return plane.service.gateway_replica(sg).read(key)
+
+
+class OccControl(ConcurrencyControl):
+    """Optimistic concurrency control with fenced validation reads."""
+
+    name = "occ"
+
+    def read(self, plane, txn, key: bytes) -> Generator:
+        hit, value = self._buffered(txn, key)
+        if hit:
+            return value
+        value = self._stale_read(plane, key)
+        if key not in txn.reads:      # first read wins: repeatable reads
+            txn.reads[key] = value
+        else:
+            value = txn.reads[key]
+        return value
+        yield  # pragma: no cover - generator marker (zero-cost read)
+
+    def write(self, plane, txn, key: bytes, value: bytes) -> Generator:
+        txn.writes.append((W_PUT, key, value))
+        return
+        yield  # pragma: no cover - generator marker
+
+    def delete(self, plane, txn, key: bytes) -> Generator:
+        txn.writes.append((W_DELETE, key, b""))
+        return
+        yield  # pragma: no cover - generator marker
+
+    def validate(self, plane, txn) -> Generator:
+        """Fenced validation reads — one fence per read subgroup, then
+        local re-reads: any observed value that changed since execute
+        aborts the attempt before a single prepare is sequenced. Run on
+        retries (the read set already proved contended) and, when
+        ``occ_eager_validate`` is set, on first attempts too; otherwise
+        first attempts stay optimistic and rely on the in-order
+        validation carried by the prepare slices."""
+        if not (plane.config.occ_eager_validate or txn.attempt > 1):
+            return True
+        by_sg: Dict[int, List[bytes]] = {}
+        for key in txn.reads:
+            by_sg.setdefault(plane.router.map.subgroup_of_key(key),
+                             []).append(key)
+        for sg in sorted(by_sg):
+            replica = plane.service.gateway_replica(sg)
+            yield from replica.fence_req()
+            for key in by_sg[sg]:
+                if replica.read(key) != txn.reads[key]:
+                    return False
+        return True
+
+    def finish(self, plane, txn) -> None:
+        pass
+
+
+class TwoPhaseLocking(ConcurrencyControl):
+    """Strict two-phase locking on the plane's per-shard lock tables."""
+
+    name = "2pl"
+
+    def _lock(self, plane, txn, key: bytes, exclusive: bool) -> Generator:
+        shard = plane.router.map.shard_of(key)
+        table = plane.lock_table(shard)
+        t0 = plane.sim.now
+        try:
+            yield from table.acquire(txn.handle, key, exclusive,
+                                     plane.lock_delay(shard))
+        finally:
+            txn.lock_seconds += plane.sim.now - t0
+        txn.locked_shards.add(shard)
+
+    def read(self, plane, txn, key: bytes) -> Generator:
+        hit, value = self._buffered(txn, key)
+        if hit:
+            return value
+        yield from self._lock(plane, txn, key, exclusive=False)
+        value = self._stale_read(plane, key)
+        txn.reads.setdefault(key, value)
+        return value
+
+    def write(self, plane, txn, key: bytes, value: bytes) -> Generator:
+        yield from self._lock(plane, txn, key, exclusive=True)
+        txn.writes.append((W_PUT, key, value))
+
+    def delete(self, plane, txn, key: bytes) -> Generator:
+        yield from self._lock(plane, txn, key, exclusive=True)
+        txn.writes.append((W_DELETE, key, b""))
+
+    def validate(self, plane, txn) -> Generator:
+        """Locks already guarantee isolation; only the wound flag can
+        still abort the attempt here."""
+        if txn.handle.wounded:
+            raise TxnAborted(txn.txn_id, "wounded")
+        return True
+        yield  # pragma: no cover - generator marker
+
+    def finish(self, plane, txn) -> None:
+        for shard in txn.locked_shards:
+            plane.lock_table(shard).release_all(txn.handle)
+        txn.locked_shards.clear()
+
+
+CC_PROTOCOLS = {
+    OccControl.name: OccControl,
+    TwoPhaseLocking.name: TwoPhaseLocking,
+}
+
+
+def resolve_cc(name: str) -> ConcurrencyControl:
+    try:
+        return CC_PROTOCOLS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown concurrency control {name!r}; "
+            f"one of {sorted(CC_PROTOCOLS)}") from None

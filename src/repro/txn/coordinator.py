@@ -1,0 +1,609 @@
+"""The cross-shard transaction coordinator (docs/TRANSACTIONS.md).
+
+A :class:`TxnPlane` composes multi-key transactions over the sharded
+service's independent per-subgroup total orders by **two-phase
+ordering**: after the CC protocol clears the attempt (OCC validation /
+2PL locks), a :class:`~repro.txn.records.PrepareRecord` is sequenced
+through every write shard's own multicast — the vote is decided
+*at delivery*, identically on every replica of the hosting subgroup —
+then a settle round carries the commit/abort verdict through the same
+orders. Under OCC, shards that were only *read* certify the read set
+with a settle-free validate-only slice sequenced **after** every write
+shard holds its prepared locks (lock-then-validate): a concurrent
+reader that could observe this txn half-applied instead trips a
+prepared lock and aborts. Single-shard transactions degenerate to one
+auto-commit prepare (no settle round, no WAL): atomicity inside one
+total order is free.
+
+Durability: a presumed-abort write-ahead log on the coordinator node's
+storage device (``BEGIN`` before the first prepare, ``DECISION`` before
+the first settle, both fsynced; ``END`` lazily after the settle round)
+makes a coordinator crash mid-commit recoverable by
+:func:`repro.txn.recover.recover_txns` — prepared shards hold their
+buffered writes (and block conflicting prepares) until a settle with
+the logged verdict arrives, which the recovery pass re-drives
+idempotently.
+
+Determinism: txn ids are a plane-local counter, wound-wait age is the
+first attempt's txn id (retained across retries so wounded txns age
+instead of starving), participant rounds walk shards in sorted order,
+and retry backoffs are fixed — a (cluster seed, workload) pair replays
+byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Set, Tuple
+
+from ..metrics.stages import (
+    TXN_STAGE_EXECUTE,
+    TXN_STAGE_PREPARE,
+    TXN_STAGE_SETTLE,
+    TXN_STAGE_TIME,
+    TXN_STAGE_VALIDATE_OR_LOCK,
+    TXN_STAGES,
+)
+from ..sim.units import us
+from .cc import ConcurrencyControl, resolve_cc
+from .locks import LockTable, TxnAborted, TxnHandle
+from .records import (
+    WAL_BEGIN,
+    WAL_DECISION,
+    WAL_END,
+    PrepareRecord,
+    SettleRecord,
+    encode_prepare,
+    encode_settle,
+    encode_wal,
+)
+
+__all__ = ["TxnConfig", "TxnOp", "TxnOutcome", "TxnCounters", "TxnPlane"]
+
+
+@dataclass(frozen=True)
+class TxnConfig:
+    """Coordinator knobs (docs/TRANSACTIONS.md)."""
+
+    #: Concurrency control protocol: "occ" | "2pl".
+    cc: str = "occ"
+    #: Attempt budget in :meth:`TxnPlane.run_txn` (validation aborts,
+    #: wound-wait losses and admission rejects all consume one).
+    max_attempts: int = 12
+    #: Fixed backoff between attempts (deterministic).
+    retry_backoff: float = us(120.0)
+    #: ALock fast path: lock-acquire cost when the coordinator node is
+    #: a member of the shard's hosting subgroup (node-local CAS)...
+    local_lock_delay: float = us(0.4)
+    #: ...vs. a one-sided RDMA round trip for a remote coordinator.
+    remote_lock_delay: float = us(4.0)
+    #: Wound-wait poll interval while an older txn waits a lock out.
+    lock_poll: float = us(2.0)
+    #: Coordinator WAL device name (per coordinator node).
+    wal_device: str = "txnlog"
+    #: fsync the WAL at BEGIN and DECISION (durable two-phase commit).
+    #: Off = timing-only runs that accept coordinator amnesia.
+    wal_fsync: bool = True
+    #: Chaos hook: stretch the DECISION -> settle window so a scheduled
+    #: coordinator crash deterministically lands mid-commit.
+    settle_delay: float = 0.0
+    #: Single-shard txns skip WAL + settle via one auto-commit prepare.
+    fastpath: bool = True
+    #: OCC: run the coordinator-side fenced validation read (one fence
+    #: per read subgroup + local compare) on *first* attempts too.
+    #: Retries always fence — a cheap early abort before burning
+    #: another prepare round on a read set that is already stale.
+    occ_eager_validate: bool = False
+
+
+@dataclass(frozen=True)
+class TxnOp:
+    """One operation of a transaction program: ("get"|"put"|"delete",
+    key, value)."""
+
+    op: str
+    key: bytes
+    value: bytes = b""
+
+
+@dataclass
+class TxnOutcome:
+    """Terminal verdict of one :meth:`TxnPlane.run_txn` call."""
+
+    #: "committed" | "aborted"
+    status: str
+    #: Abort cause: "validation" | "wounded" | "wound-wait" |
+    #: "prepare_no" | "rejected" | "attempts" | "" (committed).
+    reason: str = ""
+    txn_id: int = -1
+    attempts: int = 1
+    #: Values observed by the committed attempt's "get" ops, in program
+    #: order (None = absent).
+    reads: List[Optional[bytes]] = field(default_factory=list)
+    participants: Tuple[int, ...] = ()
+    #: True when the single-shard auto-commit path served the txn.
+    fastpath: bool = False
+
+
+@dataclass
+class TxnCounters:
+    committed: int = 0
+    aborted: int = 0
+    attempts: int = 0
+    fastpath_commits: int = 0
+    prepares_sent: int = 0
+    settles_sent: int = 0
+    validation_aborts: int = 0
+    wound_aborts: int = 0
+    prepare_aborts: int = 0
+    admission_aborts: int = 0
+    wal_records: int = 0
+    recovered_settles: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "attempts": self.attempts,
+            "fastpath_commits": self.fastpath_commits,
+            "prepares_sent": self.prepares_sent,
+            "settles_sent": self.settles_sent,
+            "validation_aborts": self.validation_aborts,
+            "wound_aborts": self.wound_aborts,
+            "prepare_aborts": self.prepare_aborts,
+            "admission_aborts": self.admission_aborts,
+            "wal_records": self.wal_records,
+            "recovered_settles": self.recovered_settles,
+        }
+
+
+class _Txn:
+    """Coordinator-side state of one transaction attempt."""
+
+    __slots__ = ("txn_id", "coordinator", "attempt", "handle", "reads",
+                 "writes", "locked_shards", "lock_seconds", "results")
+
+    def __init__(self, txn_id: int, coordinator: int, attempt: int = 1,
+                 age: Optional[int] = None):
+        self.txn_id = txn_id
+        self.coordinator = coordinator
+        self.attempt = attempt
+        # Wound-wait priority survives retries (fresh txn_id, old age).
+        self.handle = TxnHandle(txn_id, age)
+        #: key -> value observed from committed state (OCC read set).
+        self.reads: Dict[bytes, Optional[bytes]] = {}
+        #: Buffered writes in program order: (W_PUT|W_DELETE, k, v).
+        self.writes: List[Tuple[int, bytes, bytes]] = []
+        self.locked_shards: Set[int] = set()
+        self.lock_seconds = 0.0
+        #: "get" results in program order.
+        self.results: List[Optional[bytes]] = []
+
+
+class TxnPlane:
+    """The transaction coordinator over one cluster's shard router."""
+
+    def __init__(self, router, config: Optional[TxnConfig] = None):
+        self.router = router
+        self.cluster = router.cluster
+        self.service = router.service
+        self.sim = router.sim
+        self.config = config if config is not None else TxnConfig()
+        self.cc: ConcurrencyControl = resolve_cc(self.config.cc)
+        self.counters = TxnCounters()
+        self._txn_counter = 0
+        self._lock_tables: Dict[int, LockTable] = {}
+        self._colocated: Dict[int, bool] = {}
+        #: Driver processes per coordinator node, killed when that node
+        #: crashes (their txns recover via the WAL).
+        self._drivers: Dict[int, List[object]] = {}
+        #: Live txn handles per coordinator node: a crash releases
+        #: their plane-side locks (the coordinator that would have is
+        #: dead; prepared-state cleanup is the WAL's job).
+        self._live: Dict[int, List[_Txn]] = {}
+        self.cluster.faults.on_crash.append(self._on_node_crash)
+        self._stage_timers: Dict[str, object] = {}
+        self._register_metrics()
+
+    # ----------------------------------------------------------- plumbing
+
+    def lock_table(self, shard: int) -> LockTable:
+        table = self._lock_tables.get(shard)
+        if table is None:
+            table = LockTable(self.sim, shard, self.config.lock_poll)
+            self._lock_tables[shard] = table
+        return table
+
+    def lock_delay(self, shard: int) -> float:
+        """The ALock asymmetry: local fast path for coordinators
+        co-located with the shard's hosting subgroup."""
+        return (self.config.local_lock_delay
+                if self._colocated.get(shard, False)
+                else self.config.remote_lock_delay)
+
+    def _default_coordinator(self) -> int:
+        return self.cluster.node_ids[0]
+
+    def _wal(self, coordinator: int):
+        return self.cluster.storage.device(coordinator,
+                                           self.config.wal_device)
+
+    def _wal_append(self, coordinator: int, record: bytes,
+                    fsync: bool) -> Generator:
+        device = self._wal(coordinator)
+        device.write(record)
+        self.counters.wal_records += 1
+        if fsync and self.config.wal_fsync:
+            yield from device.fsync()
+
+    def _stage_add(self, stage: str, dt: float) -> None:
+        timer = self._stage_timers.get(stage)
+        if timer is not None:
+            timer.add(dt)
+
+    # -------------------------------------------------------------- client
+
+    def run_txn(self, ops: List[TxnOp],
+                coordinator_node: Optional[int] = None) -> Generator:
+        """Client generator: run one transaction program to a terminal
+        :class:`TxnOutcome`, retrying aborted attempts (fresh txn id,
+        fixed backoff) up to ``max_attempts``."""
+        coordinator = (coordinator_node if coordinator_node is not None
+                       else self._default_coordinator())
+        cfg = self.config
+        last = None
+        age = None  # first attempt's txn id = wound-wait age for retries
+        for attempt in range(1, cfg.max_attempts + 1):
+            self.counters.attempts += 1
+            out = yield from self._attempt(ops, coordinator, attempt, age)
+            out.attempts = attempt
+            if age is None:
+                age = out.txn_id
+            if out.status == "committed":
+                self.counters.committed += 1
+                return out
+            last = out
+            if attempt < cfg.max_attempts:
+                yield cfg.retry_backoff
+        self.counters.aborted += 1
+        last.reason = last.reason or "attempts"
+        return last
+
+    def spawn_txn(self, ops: List[TxnOp],
+                  coordinator_node: Optional[int] = None,
+                  name: str = "txn", outcomes: Optional[list] = None):
+        """Fire-and-track: run the txn in its own simulated process,
+        registered to die with its coordinator node (chaos)."""
+        coordinator = (coordinator_node if coordinator_node is not None
+                       else self._default_coordinator())
+        sink = outcomes if outcomes is not None else []
+
+        def driver():
+            out = yield from self.run_txn(ops, coordinator_node=coordinator)
+            sink.append(out)
+
+        proc = self.sim.spawn(driver(), name=name)
+        self.adopt(coordinator, proc)
+        return proc, sink
+
+    def adopt(self, coordinator: int, proc) -> None:
+        """Register a driver process to be killed when ``coordinator``
+        crashes (chaos scenarios spawn their own client loops)."""
+        self._drivers.setdefault(coordinator, []).append(proc)
+
+    # ------------------------------------------------------------ attempts
+
+    def _begin(self, coordinator: int, attempt: int = 1,
+               age: Optional[int] = None) -> _Txn:
+        self._txn_counter += 1
+        txn = _Txn(self._txn_counter, coordinator, attempt, age)
+        self._live.setdefault(coordinator, []).append(txn)
+        return txn
+
+    def _end(self, txn: _Txn) -> None:
+        self.cc.finish(self, txn)
+        live = self._live.get(txn.coordinator)
+        if live is not None and txn in live:
+            live.remove(txn)
+
+    def _attempt(self, ops: List[TxnOp], coordinator: int,
+                 attempt: int = 1, age: Optional[int] = None) -> Generator:
+        cfg = self.config
+        self._snapshot_colocation(coordinator)
+        txn = self._begin(coordinator, attempt, age)
+        try:
+            # ---- execute: reads + buffered writes under the CC ------
+            t0 = self.sim.now
+            try:
+                for op in ops:
+                    if op.op == "get":
+                        value = yield from self.cc.read(self, txn, op.key)
+                        txn.results.append(value)
+                    elif op.op == "put":
+                        yield from self.cc.write(self, txn, op.key, op.value)
+                    elif op.op == "delete":
+                        yield from self.cc.delete(self, txn, op.key)
+                    else:
+                        raise ValueError(f"unknown txn op {op.op!r}")
+            except TxnAborted as exc:
+                self.counters.wound_aborts += 1
+                return TxnOutcome("aborted", exc.reason, txn.txn_id)
+            self._stage_add(TXN_STAGE_EXECUTE, self.sim.now - t0)
+
+            # ---- validate-or-lock clearance -------------------------
+            t0 = self.sim.now
+            try:
+                ok = yield from self.cc.validate(self, txn)
+            except TxnAborted as exc:
+                self.counters.wound_aborts += 1
+                return TxnOutcome("aborted", exc.reason, txn.txn_id)
+            # 2PL accrues its lock time during execute; fold it in so
+            # the stage means "conflict clearance" under either CC.
+            self._stage_add(TXN_STAGE_VALIDATE_OR_LOCK,
+                            (self.sim.now - t0) + txn.lock_seconds)
+            if not ok:
+                self.counters.validation_aborts += 1
+                return TxnOutcome("aborted", "validation", txn.txn_id)
+
+            participants, read_only = self._shard_split(txn)
+            if not participants:
+                if not read_only:  # nothing shard-resident to certify
+                    return TxnOutcome("committed", "", txn.txn_id,
+                                      reads=list(txn.results), fastpath=True)
+                # OCC pure read: settle-free validate-only slices carry
+                # the read set through each shard's order — no prepared
+                # state, so no WAL and no settle round either.
+                t0 = self.sim.now
+                ok, reason = yield from self._validate_round(txn, read_only)
+                self._stage_add(TXN_STAGE_VALIDATE_OR_LOCK,
+                                self.sim.now - t0)
+                if not ok:
+                    return TxnOutcome("aborted", reason, txn.txn_id,
+                                      participants=read_only)
+                return TxnOutcome("committed", "", txn.txn_id,
+                                  reads=list(txn.results),
+                                  participants=read_only)
+
+            # ---- single-shard fast path -----------------------------
+            if cfg.fastpath and len(participants) == 1 and not read_only:
+                out = yield from self._fastpath(txn, participants[0])
+                return out
+
+            # ---- two-phase ordering with a presumed-abort WAL -------
+            yield from self._wal_append(
+                coordinator,
+                encode_wal(WAL_BEGIN, txn.txn_id, participants=participants),
+                fsync=True)
+            t0 = self.sim.now
+            votes_ok = True
+            reason = ""
+            for shard in participants:
+                rec = self._prepare_record(txn, shard, auto_commit=False)
+                outcome = yield from self.router.request(
+                    "txn_prepare", b"", value=encode_prepare(rec),
+                    shard=shard)
+                self.counters.prepares_sent += 1
+                if outcome.status != "ok":
+                    votes_ok, reason = False, "rejected"
+                    self.counters.admission_aborts += 1
+                    break
+                if outcome.value != "yes":
+                    votes_ok, reason = False, "prepare_no"
+                    self.counters.prepare_aborts += 1
+                    break
+            self._stage_add(TXN_STAGE_PREPARE, self.sim.now - t0)
+
+            # ---- lock-then-validate: read-only shards certify only
+            # after every write shard holds its prepared locks, so a
+            # concurrent reader can never observe this txn half-applied.
+            if votes_ok and read_only:
+                t0 = self.sim.now
+                votes_ok, reason = yield from self._validate_round(
+                    txn, read_only)
+                self._stage_add(TXN_STAGE_VALIDATE_OR_LOCK,
+                                self.sim.now - t0)
+
+            commit = votes_ok
+            yield from self._wal_append(
+                coordinator,
+                encode_wal(WAL_DECISION, txn.txn_id, commit=commit),
+                fsync=True)
+            if cfg.settle_delay > 0.0:
+                yield cfg.settle_delay
+            t0 = self.sim.now
+            yield from self._settle_round(txn.txn_id, participants, commit)
+            self._stage_add(TXN_STAGE_SETTLE, self.sim.now - t0)
+            # Lazy END: losing it only costs an idempotent re-drive.
+            self._wal(coordinator).write(encode_wal(WAL_END, txn.txn_id))
+            self.counters.wal_records += 1
+
+            if commit:
+                return TxnOutcome("committed", "", txn.txn_id,
+                                  reads=list(txn.results),
+                                  participants=participants)
+            return TxnOutcome("aborted", reason, txn.txn_id,
+                              participants=participants)
+        finally:
+            self._end(txn)
+
+    def _fastpath(self, txn: _Txn, shard: int) -> Generator:
+        """One auto-commit prepare through the only participant's
+        order: the shard's own total order is the atomicity domain, so
+        no WAL and no settle round are needed."""
+        t0 = self.sim.now
+        rec = self._prepare_record(txn, shard, auto_commit=True)
+        outcome = yield from self.router.request(
+            "txn_prepare", b"", value=encode_prepare(rec), shard=shard)
+        self.counters.prepares_sent += 1
+        self._stage_add(TXN_STAGE_PREPARE, self.sim.now - t0)
+        if outcome.status != "ok":
+            self.counters.admission_aborts += 1
+            return TxnOutcome("aborted", "rejected", txn.txn_id,
+                              participants=(shard,), fastpath=True)
+        if outcome.value != "yes":
+            self.counters.validation_aborts += 1
+            return TxnOutcome("aborted", "validation", txn.txn_id,
+                              participants=(shard,), fastpath=True)
+        self.counters.fastpath_commits += 1
+        return TxnOutcome("committed", "", txn.txn_id,
+                          reads=list(txn.results),
+                          participants=(shard,), fastpath=True)
+
+    def _settle_round(self, txn_id: int, participants: Tuple[int, ...],
+                      commit: bool, recovered: bool = False) -> Generator:
+        """Carry the verdict through every participant's order. Settle
+        messages ride the router's reserved lane (never rejected by
+        admission control, executed even through a rebalance freeze) so
+        a prepared txn can always be settled."""
+        for shard in participants:
+            settle = SettleRecord(txn_id=txn_id, shard=shard, commit=commit)
+            yield from self.router.request(
+                "txn_settle", b"", value=encode_settle(settle), shard=shard)
+            self.counters.settles_sent += 1
+            if recovered:
+                self.counters.recovered_settles += 1
+
+    # ------------------------------------------------------------- helpers
+
+    def _shard_split(self, txn: _Txn) -> Tuple[Tuple[int, ...],
+                                               Tuple[int, ...]]:
+        """(participants, read_only): write shards run the full
+        prepare/settle protocol (their slice also re-validates any
+        co-resident reads at delivery). Under OCC, shards that were
+        *only read* get a settle-free validate-only slice sequenced
+        after the write prepares. Under 2PL the locks already pin read
+        stability — read-only shards need nothing."""
+        write_shards: Set[int] = set()
+        for _, key, _ in txn.writes:
+            write_shards.add(self.router.map.shard_of(key))
+        read_only: Set[int] = set()
+        if self.cc.name == "occ":
+            for key in txn.reads:
+                shard = self.router.map.shard_of(key)
+                if shard not in write_shards:
+                    read_only.add(shard)
+        return tuple(sorted(write_shards)), tuple(sorted(read_only))
+
+    def _validate_round(self, txn: _Txn,
+                        shards: Tuple[int, ...]) -> Generator:
+        """OCC in-order read certification: an auto-commit prepare
+        slice (reads only, no writes) through each read-only shard's
+        order. The replica votes at delivery — value mismatch or a
+        conflicting prepared lock aborts — and leaves no prepared
+        state behind, so these slices need no settle and no WAL entry.
+
+        Being stateless, the slices batch for free: read-only shards
+        hosted by the same subgroup share one total order, so they
+        share one slice (addressed to the lowest shard id — a replica
+        hosts its whole subgroup, so it can certify every co-hosted
+        shard's reads in the one delivery)."""
+        shard_map = self.router.map
+        by_sg: Dict[int, List[int]] = {}
+        for shard in shards:
+            by_sg.setdefault(shard_map.subgroup_of(shard), []).append(shard)
+        for sg in sorted(by_sg):
+            batch = set(by_sg[sg])
+            rep = min(batch)
+            reads = tuple(sorted(
+                (k, v) for k, v in txn.reads.items()
+                if shard_map.shard_of(k) in batch))
+            rec = PrepareRecord(txn_id=txn.txn_id, shard=rep,
+                                cc=self.cc.name, auto_commit=True,
+                                reads=reads, writes=())
+            outcome = yield from self.router.request(
+                "txn_prepare", b"", value=encode_prepare(rec), shard=rep)
+            self.counters.prepares_sent += 1
+            if outcome.status != "ok":
+                self.counters.admission_aborts += 1
+                return False, "rejected"
+            if outcome.value != "yes":
+                self.counters.validation_aborts += 1
+                return False, "validation"
+        return True, ""
+
+    def _prepare_record(self, txn: _Txn, shard: int,
+                        auto_commit: bool) -> PrepareRecord:
+        """This shard's slice of the txn. OCC ships the read set for
+        authoritative in-order validation; 2PL ships none (the lock
+        table already serialized conflicting access)."""
+        reads: Tuple[Tuple[bytes, Optional[bytes]], ...] = ()
+        if self.cc.name == "occ":
+            reads = tuple(sorted(
+                (k, v) for k, v in txn.reads.items()
+                if self.router.map.shard_of(k) == shard))
+        writes = tuple((wop, k, v) for wop, k, v in txn.writes
+                       if self.router.map.shard_of(k) == shard)
+        return PrepareRecord(txn_id=txn.txn_id, shard=shard,
+                             cc=self.cc.name, auto_commit=auto_commit,
+                             reads=reads, writes=writes)
+
+    def _snapshot_colocation(self, coordinator: int) -> None:
+        """Cache, per shard, whether ``coordinator`` is a member of the
+        hosting subgroup (the ALock local/remote split)."""
+        view = self.cluster.view
+        members: Dict[int, Tuple[int, ...]] = {
+            spec.subgroup_id: tuple(spec.members)
+            for spec in view.subgroups}
+        self._colocated = {
+            shard: coordinator in members.get(
+                self.router.map.subgroup_of(shard), ())
+            for shard in range(self.router.map.num_shards)}
+
+    # --------------------------------------------------------------- chaos
+
+    def _on_node_crash(self, node: int) -> None:
+        """The coordinator host died: kill its driver processes
+        mid-txn and release their plane-side locks. Prepared shard
+        state stays pinned until :func:`~repro.txn.recover.recover_txns`
+        re-drives the WAL's verdicts."""
+        for proc in self._drivers.pop(node, []):
+            proc.kill()
+        for txn in self._live.pop(node, []):
+            for shard in txn.locked_shards:
+                self.lock_table(shard).release_all(txn.handle)
+
+    # ------------------------------------------------------------- metrics
+
+    def _register_metrics(self) -> None:
+        registry = self.cluster.metrics
+        if not registry.enabled:
+            return
+        for stage in TXN_STAGES:
+            self._stage_timers[stage] = registry.timer(
+                TXN_STAGE_TIME, "txn coordinator time by stage",
+                stage=stage)
+
+        def mirror() -> None:
+            c = self.counters
+            registry.counter("spindle_txn_committed_total",
+                             "transactions committed").set_to(c.committed)
+            registry.counter("spindle_txn_aborted_total",
+                             "transactions aborted").set_to(c.aborted)
+            registry.counter("spindle_txn_attempts_total",
+                             "transaction attempts").set_to(c.attempts)
+            registry.counter("spindle_txn_fastpath_total",
+                             "single-shard fast-path commits"
+                             ).set_to(c.fastpath_commits)
+            registry.counter("spindle_txn_prepares_total",
+                             "prepare records sequenced"
+                             ).set_to(c.prepares_sent)
+            registry.counter("spindle_txn_settles_total",
+                             "settle records sequenced"
+                             ).set_to(c.settles_sent)
+            held = sum(t.held() for t in self._lock_tables.values())
+            registry.gauge("spindle_txn_locks_held",
+                           "key locks currently held").set(held)
+
+        registry.add_collector(mirror)
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Coordinator time per stage (zeros when metrics are off)."""
+        return {stage: getattr(self._stage_timers.get(stage), "total", 0.0)
+                for stage in TXN_STAGES}
+
+    def lock_counters(self) -> Dict[str, int]:
+        total = {"acquired": 0, "wounds": 0, "wait_aborts": 0, "waits": 0}
+        for table in self._lock_tables.values():
+            for key, value in table.counters().items():
+                total[key] += value
+        return total

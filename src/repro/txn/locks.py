@@ -1,0 +1,140 @@
+"""Per-shard lock tables for 2PL: wound-wait + the ALock fast path.
+
+The §3.4 lock discipline of the paper locks whole groups before a
+multicast; this module scales the same idea down to keys. A
+:class:`LockTable` per shard grants shared/exclusive key locks to
+transactions, with **wound-wait** deadlock avoidance keyed on txn
+*age* — the first attempt's txn id, retained across that txn's retries
+so a repeatedly-wounded txn keeps getting older and must eventually
+win every lock (the classic wound-wait progress guarantee; a fresh id
+per retry would make every retry the youngest txn in the system and
+starve it under contention). Lower age = older txn:
+
+* an **older** requester *wounds* every younger holder (their next lock
+  operation — or the coordinator's pre-prepare check — aborts them) and
+  polls until the lock frees;
+* a **younger** requester aborts itself immediately
+  (:class:`TxnAborted`) rather than wait on an older txn — no
+  cross-shard waits-for cycle can form.
+
+The acquire cost models the ALock asymmetry (PAPERS.md): a coordinator
+co-located with the shard's hosting subgroup takes the *local* fast
+path (CAS on node-local memory), a remote coordinator pays a one-sided
+RDMA round trip. The caller picks the delay; this module just charges
+it. Everything is deterministic: fixed poll interval, FIFO-free
+polling whose outcome depends only on simulated time and txn ids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Set
+
+__all__ = ["TxnAborted", "TxnHandle", "LockTable"]
+
+
+class TxnAborted(Exception):
+    """The transaction lost a wound-wait race and must abort."""
+
+    def __init__(self, txn_id: int, reason: str):
+        super().__init__(f"txn {txn_id} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class TxnHandle:
+    """The lock-table view of one transaction attempt. ``age`` is the
+    wound-wait priority: the txn id of the *first* attempt, carried
+    unchanged across retries."""
+
+    __slots__ = ("txn_id", "age", "wounded")
+
+    def __init__(self, txn_id: int, age: Optional[int] = None):
+        self.txn_id = txn_id
+        self.age = txn_id if age is None else age
+        self.wounded = False
+
+
+class _Lock:
+    __slots__ = ("exclusive", "holders")
+
+    def __init__(self) -> None:
+        self.exclusive = False
+        self.holders: Set[TxnHandle] = set()
+
+
+class LockTable:
+    """Key locks for one shard (held coordinator-side by the TxnPlane)."""
+
+    def __init__(self, sim, shard: int, poll: float):
+        self.sim = sim
+        self.shard = shard
+        self.poll = poll
+        self._locks: Dict[bytes, _Lock] = {}
+        # -- observability ----------------------------------------------------
+        self.acquired = 0
+        self.wounds = 0
+        self.wait_aborts = 0
+        self.waits = 0
+
+    # -------------------------------------------------------------- acquire
+
+    def acquire(self, txn: TxnHandle, key: bytes, exclusive: bool,
+                delay: float) -> Generator:
+        """Take (or upgrade to) the requested lock mode, charging
+        ``delay`` once for the ALock fast path, then polling under
+        wound-wait until granted. Raises :class:`TxnAborted` when the
+        txn is wounded or loses the wait rule."""
+        if delay > 0.0:
+            yield delay
+        while True:
+            if txn.wounded:
+                raise TxnAborted(txn.txn_id, "wounded")
+            lock = self._locks.get(key)
+            if lock is None:
+                lock = self._locks[key] = _Lock()
+            others = [h for h in lock.holders if h is not txn]
+            if not others:
+                lock.holders.add(txn)
+                lock.exclusive = exclusive or lock.exclusive
+                self.acquired += 1
+                return
+            if not exclusive and not lock.exclusive:
+                lock.holders.add(txn)
+                self.acquired += 1
+                return
+            # Conflict: wound-wait on txn age (lower = older).
+            if all(txn.age < h.age for h in others):
+                for h in others:
+                    if not h.wounded:
+                        h.wounded = True
+                        self.wounds += 1
+                self.waits += 1
+                yield self.poll
+                continue
+            self.wait_aborts += 1
+            raise TxnAborted(txn.txn_id, "wound-wait")
+
+    # -------------------------------------------------------------- release
+
+    def release_all(self, txn: TxnHandle) -> None:
+        """Drop every lock this txn holds (commit, abort, or
+        coordinator-crash cleanup). Zero simulated cost."""
+        dead: List[bytes] = []
+        for key, lock in self._locks.items():
+            if txn in lock.holders:
+                lock.holders.discard(txn)
+                if not lock.holders:
+                    dead.append(key)
+        for key in dead:
+            del self._locks[key]
+
+    def held(self) -> int:
+        return sum(len(lock.holders) for lock in self._locks.values())
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "acquired": self.acquired,
+            "wounds": self.wounds,
+            "wait_aborts": self.wait_aborts,
+            "waits": self.waits,
+        }

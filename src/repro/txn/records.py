@@ -1,0 +1,205 @@
+"""Wire + WAL codecs for the cross-shard transaction plane.
+
+Two record families share this module:
+
+* **Ordered txn records** — :class:`PrepareRecord` / :class:`SettleRecord`
+  — travel *inside* the rid envelope of the sharded service
+  (:func:`repro.shard.service.frame_request`, always rid 0: txn dedup is
+  by txn id, not rid) and are sequenced through the participant shard's
+  own total order, so every replica of the hosting subgroup decides the
+  prepare vote at the same position in the same order. The first byte
+  (``OP_TXN_PREPARE`` / ``OP_TXN_SETTLE``) is chosen outside the
+  ``KvCommand`` opcode range so :meth:`ShardReplica.apply` can dispatch
+  by peeking it.
+
+* **Coordinator WAL records** — :func:`encode_wal` / :func:`decode_wal`
+  — the presumed-abort write-ahead log on the coordinator node's
+  storage device (``BEGIN`` → ``DECISION`` → ``END``), scanned by
+  :func:`repro.txn.recover.recover_txns` after a coordinator crash
+  (docs/TRANSACTIONS.md).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "OP_TXN_PREPARE", "OP_TXN_SETTLE", "W_PUT", "W_DELETE",
+    "WAL_BEGIN", "WAL_DECISION", "WAL_END",
+    "PrepareRecord", "SettleRecord", "WalRecord",
+    "encode_prepare", "encode_settle", "decode_txn_record",
+    "is_txn_payload", "encode_wal", "decode_wal", "scan_wal",
+]
+
+#: Ordered-record opcodes; deliberately disjoint from the KvCommand
+#: opcode range (OP_PUT..OP_FENCE = 1..4) so a replica can dispatch on
+#: the first payload byte.
+OP_TXN_PREPARE = 0x71
+OP_TXN_SETTLE = 0x72
+
+#: Buffered-write opcodes inside a prepare record.
+W_PUT = 1
+W_DELETE = 2
+
+#: Coordinator WAL record kinds (presumed abort: a BEGIN with no
+#: DECISION recovers as abort).
+WAL_BEGIN = 1
+WAL_DECISION = 2
+WAL_END = 3
+
+_PREP_HDR = struct.Struct("<BQBBIHH")   # op, txn_id, cc, auto, shard, nr, nw
+_READ_HDR = struct.Struct("<Hi")        # klen, vlen (-1 = absent)
+_WRITE_HDR = struct.Struct("<BHI")      # wop, klen, vlen
+_SETTLE = struct.Struct("<BQBI")        # op, txn_id, commit, shard
+_WAL_HDR = struct.Struct("<BQBH")       # kind, txn_id, commit, n_participants
+_WAL_PART = struct.Struct("<I")
+
+
+@dataclass(frozen=True)
+class PrepareRecord:
+    """One shard's slice of a transaction, sequenced into that shard's
+    total order. ``reads`` carry the values the coordinator observed
+    (``None`` = key absent) for authoritative validation at delivery;
+    ``writes`` are buffered until the settle round — unless
+    ``auto_commit`` (single-shard fast path) applies them immediately
+    on a yes vote."""
+
+    txn_id: int
+    shard: int
+    cc: str                                        # "occ" | "2pl"
+    auto_commit: bool
+    reads: Tuple[Tuple[bytes, Optional[bytes]], ...]
+    writes: Tuple[Tuple[int, bytes, bytes], ...]   # (W_PUT|W_DELETE, k, v)
+
+    def keys(self) -> List[bytes]:
+        return [k for k, _ in self.reads] + [k for _, k, _ in self.writes]
+
+    def write_keys(self) -> List[bytes]:
+        return [k for _, k, _ in self.writes]
+
+
+@dataclass(frozen=True)
+class SettleRecord:
+    """The commit/abort verdict for one prepared shard slice."""
+
+    txn_id: int
+    shard: int
+    commit: bool
+
+
+@dataclass
+class WalRecord:
+    """One decoded coordinator WAL record."""
+
+    kind: int
+    txn_id: int
+    commit: bool = False
+    participants: Tuple[int, ...] = field(default=())
+
+
+def encode_prepare(rec: PrepareRecord) -> bytes:
+    out = [_PREP_HDR.pack(OP_TXN_PREPARE, rec.txn_id,
+                          1 if rec.cc == "2pl" else 0,
+                          1 if rec.auto_commit else 0,
+                          rec.shard, len(rec.reads), len(rec.writes))]
+    for key, value in rec.reads:
+        out.append(_READ_HDR.pack(len(key),
+                                  -1 if value is None else len(value)))
+        out.append(key)
+        if value is not None:
+            out.append(value)
+    for wop, key, value in rec.writes:
+        out.append(_WRITE_HDR.pack(wop, len(key), len(value)))
+        out.append(key)
+        out.append(value)
+    return b"".join(out)
+
+
+def encode_settle(rec: SettleRecord) -> bytes:
+    return _SETTLE.pack(OP_TXN_SETTLE, rec.txn_id,
+                        1 if rec.commit else 0, rec.shard)
+
+
+def is_txn_payload(inner: bytes) -> bool:
+    """True when an unframed command payload is a txn record."""
+    return bool(inner) and inner[0] in (OP_TXN_PREPARE, OP_TXN_SETTLE)
+
+
+def decode_txn_record(inner: bytes):
+    """Decode an unframed txn payload into a Prepare/SettleRecord."""
+    op = inner[0]
+    if op == OP_TXN_SETTLE:
+        _, txn_id, commit, shard = _SETTLE.unpack_from(inner, 0)
+        return SettleRecord(txn_id=txn_id, shard=shard, commit=bool(commit))
+    if op != OP_TXN_PREPARE:
+        raise ValueError(f"not a txn record (op={op:#x})")
+    (_, txn_id, cc, auto, shard,
+     n_reads, n_writes) = _PREP_HDR.unpack_from(inner, 0)
+    off = _PREP_HDR.size
+    reads: List[Tuple[bytes, Optional[bytes]]] = []
+    for _ in range(n_reads):
+        klen, vlen = _READ_HDR.unpack_from(inner, off)
+        off += _READ_HDR.size
+        key = bytes(inner[off:off + klen])
+        off += klen
+        if vlen < 0:
+            reads.append((key, None))
+        else:
+            reads.append((key, bytes(inner[off:off + vlen])))
+            off += vlen
+    writes: List[Tuple[int, bytes, bytes]] = []
+    for _ in range(n_writes):
+        wop, klen, vlen = _WRITE_HDR.unpack_from(inner, off)
+        off += _WRITE_HDR.size
+        key = bytes(inner[off:off + klen])
+        off += klen
+        value = bytes(inner[off:off + vlen])
+        off += vlen
+        writes.append((wop, key, value))
+    return PrepareRecord(txn_id=txn_id, shard=shard,
+                         cc="2pl" if cc else "occ",
+                         auto_commit=bool(auto),
+                         reads=tuple(reads), writes=tuple(writes))
+
+
+def encode_wal(kind: int, txn_id: int, commit: bool = False,
+               participants: Tuple[int, ...] = ()) -> bytes:
+    out = [_WAL_HDR.pack(kind, txn_id, 1 if commit else 0,
+                         len(participants))]
+    for shard in participants:
+        out.append(_WAL_PART.pack(shard))
+    return b"".join(out)
+
+
+def decode_wal(data: bytes) -> WalRecord:
+    kind, txn_id, commit, n_parts = _WAL_HDR.unpack_from(data, 0)
+    off = _WAL_HDR.size
+    parts = []
+    for _ in range(n_parts):
+        (shard,) = _WAL_PART.unpack_from(data, off)
+        off += _WAL_PART.size
+        parts.append(shard)
+    return WalRecord(kind=kind, txn_id=txn_id, commit=bool(commit),
+                     participants=tuple(parts))
+
+
+def scan_wal(records: List[bytes]) -> Dict[int, WalRecord]:
+    """Fold a WAL record stream into per-txn recovery state: the
+    returned :class:`WalRecord`'s ``kind`` is the *latest* stage seen
+    for that txn (BEGIN < DECISION < END), with ``participants`` from
+    BEGIN and ``commit`` from DECISION."""
+    state: Dict[int, WalRecord] = {}
+    for raw in records:
+        rec = decode_wal(raw)
+        cur = state.get(rec.txn_id)
+        if cur is None:
+            state[rec.txn_id] = rec
+            continue
+        cur.kind = max(cur.kind, rec.kind)
+        if rec.kind == WAL_BEGIN and rec.participants:
+            cur.participants = rec.participants
+        if rec.kind == WAL_DECISION:
+            cur.commit = rec.commit
+    return state

@@ -88,6 +88,7 @@ class Cluster:
         #: Declared by :meth:`add_shards`; consumed by :meth:`router`.
         self._shard_plan: Optional[dict] = None
         self._router = None
+        self._txn_plane = None
         self._fabric_collectors_registered = False
         #: Crash-stopped nodes (they stay in ``node_ids`` — provisioned
         #: machines — but are excluded from :meth:`live_nodes`).
@@ -200,6 +201,20 @@ class Cluster:
             self._router = build_shard_plane(
                 self, config=config, transfer_config=transfer_config)
         return self._router
+
+    def txn(self, config=None) -> "TxnPlane":
+        """The cross-shard transaction plane (built lazily over
+        :meth:`router` on first access; docs/TRANSACTIONS.md)::
+
+            plane = cluster.txn(TxnConfig(cc="2pl"))
+            outcome = yield from plane.run_txn([
+                TxnOp("put", b"a", b"1"), TxnOp("put", b"b", b"2")])
+        """
+        if self._txn_plane is None:
+            from ..txn import TxnPlane
+
+            self._txn_plane = TxnPlane(self.router(), config=config)
+        return self._txn_plane
 
     def enable_membership(self, heartbeat_period: float = 100e-6,
                           suspicion_timeout: float = 500e-6,
